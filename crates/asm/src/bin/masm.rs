@@ -1,0 +1,98 @@
+//! `masm` — assemble an mcode/guest source file to a flat binary image.
+//!
+//! ```text
+//! masm input.s [-o out.bin] [--base 0x0] [--symbols]
+//! ```
+//!
+//! The output is the flattened little-endian image starting at `--base`
+//! (gaps zero-filled). `--symbols` prints the symbol table to stderr.
+
+use metal_asm::{assemble, Options};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut output = "a.bin".to_owned();
+    let mut base = 0u32;
+    let mut symbols = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => match args.next() {
+                Some(path) => output = path,
+                None => return usage("missing argument to -o"),
+            },
+            "--base" => match args.next().and_then(|v| parse_u32(&v)) {
+                Some(v) => base = v,
+                None => return usage("bad --base value"),
+            },
+            "--symbols" => symbols = true,
+            "-h" | "--help" => return usage(""),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(input) = input else {
+        return usage("no input file");
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("masm: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let assembled = match assemble(
+        &src,
+        Options {
+            text_base: base,
+            data_base: base + 0x1_0000,
+        },
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("masm: {input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match assembled.flatten(base) {
+        Ok(image) => image,
+        Err(msg) => {
+            eprintln!("masm: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&output, &image) {
+        eprintln!("masm: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if symbols {
+        for (name, value) in &assembled.symbols {
+            eprintln!("{:#010x} {name}", *value as u32);
+        }
+    }
+    eprintln!("masm: wrote {} bytes to {output}", image.len());
+    ExitCode::SUCCESS
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("masm: {err}");
+    }
+    eprintln!("usage: masm input.s [-o out.bin] [--base 0xADDR] [--symbols]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

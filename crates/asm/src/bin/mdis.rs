@@ -1,0 +1,65 @@
+//! `mdis` — disassemble a flat binary image.
+//!
+//! ```text
+//! mdis image.bin [--base 0xADDR]
+//! ```
+
+use metal_isa::{decode, disassemble};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut base = 0u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--base" => {
+                let Some(v) = args.next().and_then(|v| {
+                    v.strip_prefix("0x")
+                        .map_or_else(|| v.parse().ok(), |h| u32::from_str_radix(h, 16).ok())
+                }) else {
+                    eprintln!("mdis: bad --base value");
+                    return ExitCode::FAILURE;
+                };
+                base = v;
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => {
+                eprintln!("mdis: unknown argument {other:?}");
+                eprintln!("usage: mdis image.bin [--base 0xADDR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: mdis image.bin [--base 0xADDR]");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(&input) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("mdis: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let mut word = [0u8; 4];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let word = u32::from_le_bytes(word);
+        let addr = base + (i as u32) * 4;
+        let line = match decode(word) {
+            Ok(insn) => format!("{addr:#010x}: {word:08x}  {}", disassemble(&insn)),
+            Err(_) => format!("{addr:#010x}: {word:08x}  .word {word:#010x}"),
+        };
+        // A closed pipe (e.g. `mdis … | head`) is a normal way to stop.
+        if writeln!(out, "{line}").is_err() {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,196 @@
+//! Statement-level parsing: lines → labels, directives, instructions.
+
+use crate::lexer::{tokenize_line, Token};
+use crate::AsmError;
+
+/// One parsed statement, tagged with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name:` — a label definition at the current location.
+    Label(String),
+    /// `.directive args…` — args split at top-level commas.
+    Directive {
+        /// Directive name, without the leading dot.
+        name: String,
+        /// Comma-separated argument token groups.
+        args: Vec<Vec<Token>>,
+    },
+    /// `name = expr` — symbol assignment.
+    Assign {
+        /// Symbol name.
+        name: String,
+        /// Expression tokens.
+        expr: Vec<Token>,
+    },
+    /// An instruction or pseudo-instruction.
+    Insn {
+        /// Lower-cased mnemonic.
+        mnemonic: String,
+        /// Comma-separated operand token groups.
+        operands: Vec<Vec<Token>>,
+    },
+}
+
+/// A statement with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Located {
+    /// 1-based line number.
+    pub line: usize,
+    /// The statement.
+    pub stmt: Stmt,
+}
+
+/// Splits a token list at top-level commas (commas inside parentheses do
+/// not split — the assembler's grammar never nests commas, but be safe).
+fn split_commas(toks: &[Token]) -> Vec<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0usize;
+    for t in toks {
+        match t {
+            Token::Punct('(') => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            Token::Punct(')') => {
+                depth = depth.saturating_sub(1);
+                cur.push(t.clone());
+            }
+            Token::Punct(',') if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses a whole source file into located statements.
+pub fn parse(src: &str) -> Result<Vec<Located>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let mut toks = tokenize_line(raw, line)?;
+        // Leading labels: `ident :` possibly several on one line.
+        while toks.len() >= 2 {
+            let is_label = matches!(&toks[0], Token::Ident(name) if !name.starts_with('.'))
+                && toks[1] == Token::Punct(':');
+            if !is_label {
+                break;
+            }
+            let Token::Ident(name) = toks.remove(0) else {
+                unreachable!("matched above");
+            };
+            toks.remove(0); // ':'
+            out.push(Located {
+                line,
+                stmt: Stmt::Label(name),
+            });
+        }
+        if toks.is_empty() {
+            continue;
+        }
+        // Assignment: `name = expr`.
+        if toks.len() >= 3 && toks[1] == Token::Punct('=') {
+            if let Token::Ident(name) = &toks[0] {
+                out.push(Located {
+                    line,
+                    stmt: Stmt::Assign {
+                        name: name.clone(),
+                        expr: toks[2..].to_vec(),
+                    },
+                });
+                continue;
+            }
+        }
+        match &toks[0] {
+            Token::Ident(head) if head.starts_with('.') => {
+                let name = head[1..].to_owned();
+                if name.is_empty() {
+                    return Err(AsmError::new(line, "empty directive name"));
+                }
+                out.push(Located {
+                    line,
+                    stmt: Stmt::Directive {
+                        name,
+                        args: split_commas(&toks[1..]),
+                    },
+                });
+            }
+            Token::Ident(head) => {
+                let mnemonic = head.to_lowercase();
+                out.push(Located {
+                    line,
+                    stmt: Stmt::Insn {
+                        mnemonic,
+                        operands: split_commas(&toks[1..]),
+                    },
+                });
+            }
+            other => {
+                return Err(AsmError::new(
+                    line,
+                    format!("expected label, directive, or mnemonic, found {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_insn_on_one_line() {
+        let stmts = parse("a: b: addi a0, a0, 1").unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[0].stmt, Stmt::Label("a".into()));
+        assert_eq!(stmts[1].stmt, Stmt::Label("b".into()));
+        assert!(matches!(&stmts[2].stmt, Stmt::Insn { mnemonic, operands }
+            if mnemonic == "addi" && operands.len() == 3));
+    }
+
+    #[test]
+    fn directive_args_split() {
+        let stmts = parse(".word 1, 2 + 3, sym").unwrap();
+        let Stmt::Directive { name, args } = &stmts[0].stmt else {
+            panic!("not a directive");
+        };
+        assert_eq!(name, "word");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn memory_operand_stays_joined() {
+        let stmts = parse("lw a0, 8(sp)").unwrap();
+        let Stmt::Insn { operands, .. } = &stmts[0].stmt else {
+            panic!("not an instruction");
+        };
+        assert_eq!(operands.len(), 2);
+        assert_eq!(operands[1].len(), 4, "offset ( reg )");
+    }
+
+    #[test]
+    fn assignment() {
+        let stmts = parse("FOO = 1 << 4").unwrap();
+        assert!(matches!(&stmts[0].stmt, Stmt::Assign { name, .. } if name == "FOO"));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        let stmts = parse("\n# only a comment\n\nnop\n").unwrap();
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].line, 4);
+    }
+
+    #[test]
+    fn mnemonics_case_insensitive() {
+        let stmts = parse("NOP").unwrap();
+        assert!(matches!(&stmts[0].stmt, Stmt::Insn { mnemonic, .. } if mnemonic == "nop"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Property test: re-assembling the disassembly of any decodable
+//! instruction reproduces the same instruction word.
+//!
+//! This closes the loop `decode -> disassemble -> assemble -> encode` and
+//! pins the assembler and disassembler to the same syntax.
+
+use metal_asm::assemble_at;
+use metal_isa::{decode, disassemble, encode};
+use proptest::prelude::*;
+
+/// Words that decode successfully and whose canonical re-encoding equals
+/// the decoded form (non-canonical fields zeroed).
+fn canonical_word() -> impl Strategy<Value = u32> {
+    any::<u32>().prop_filter_map("not a canonical instruction", |w| {
+        let insn = decode(w).ok()?;
+        let canonical = metal_isa::try_encode(&insn).ok()?;
+        // Skip instructions whose disassembly is not meant to re-parse
+        // (unknown MCR indices print as `mcr:0x...`).
+        let text = disassemble(&insn);
+        if text.contains("mcr:") {
+            return None;
+        }
+        Some(canonical)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    #[test]
+    fn disassembly_reassembles(word in canonical_word()) {
+        let insn = decode(word).expect("strategy yields decodable words");
+        let text = disassemble(&insn);
+        let words = assemble_at(&text, 0)
+            .unwrap_or_else(|e| panic!("cannot reassemble {text:?}: {e}"));
+        prop_assert_eq!(words.len(), 1, "{}", &text);
+        let reparsed = decode(words[0]).expect("assembler output decodes");
+        prop_assert_eq!(encode(&reparsed), word, "text was {:?}", &text);
+    }
+}

@@ -1,0 +1,43 @@
+//! Simulator throughput: simulated instructions per host second for the
+//! pipelined core and the functional reference interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metal_bench::harness::std_config;
+use metal_pipeline::{Core, Interp, NoHooks};
+
+const LOOPS: u64 = 5_000;
+
+fn program() -> Vec<u8> {
+    let src = format!(
+        "li s1, {LOOPS}\nloop:\n addi a0, a0, 1\n xor a1, a1, a0\n addi s1, s1, -1\n bnez s1, loop\n ebreak"
+    );
+    metal_asm::assemble_at(&src, 0)
+        .unwrap()
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let image = program();
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(LOOPS * 4));
+    group.bench_function("pipelined_core", |b| {
+        b.iter(|| {
+            let mut core = Core::new(std_config(), NoHooks);
+            core.load_segments([(0u32, image.as_slice())], 0);
+            core.run(10_000_000)
+        });
+    });
+    group.bench_function("reference_interp", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(std_config(), NoHooks);
+            interp.load_segments([(0u32, image.as_slice())], 0);
+            interp.run(10_000_000)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for E3: simulating the TLB-refill workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metal_bench::experiments::pagetable_exp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_refill");
+    group.sample_size(10);
+    group.bench_function("all_variants", |b| {
+        b.iter(pagetable_exp::measure);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

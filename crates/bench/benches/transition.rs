@@ -1,0 +1,30 @@
+//! Criterion bench for E1: host-time cost of simulating the no-op
+//! mroutine call loop under each dispatch design (the cycle-level
+//! numbers come from `reproduce -- e1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metal_bench::harness::{run_to_halt, std_config};
+use metal_core::MetalBuilder;
+
+fn call_loop(palcode: bool) {
+    let mut builder = MetalBuilder::new().routine(0, "noop", "mexit");
+    if palcode {
+        builder = builder.palcode(0x20_0000);
+    }
+    let mut core = builder.build_core(std_config()).unwrap();
+    run_to_halt(
+        &mut core,
+        "li s1, 200\nloop:\n menter 0\n addi s1, s1, -1\n bnez s1, loop\n ebreak",
+        10_000_000,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition");
+    group.bench_function("metal_noop_calls", |b| b.iter(|| call_loop(false)));
+    group.bench_function("palcode_noop_calls", |b| b.iter(|| call_loop(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

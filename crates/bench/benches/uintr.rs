@@ -1,0 +1,16 @@
+//! Criterion bench for E5: simulating interrupt delivery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metal_bench::experiments::uintr_exp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uintr");
+    group.sample_size(10);
+    group.bench_function("report_slice", |b| {
+        b.iter(|| uintr_exp::report().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p metal-bench --bin reproduce -- all
+//! cargo run --release -p metal-bench --bin reproduce -- table2 e1 e3
+//! ```
+
+use metal_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{report}");
+                println!("{}", "-".repeat(72));
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; known ids: {}",
+                    experiments::ALL.join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

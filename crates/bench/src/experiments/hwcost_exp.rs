@@ -1,0 +1,140 @@
+//! T2 + E8: hardware cost and its ablation.
+
+use metal_hwcost::processor::MetalHwConfig;
+use metal_hwcost::{baseline_processor, metal_processor, table2, ProcessorConfig};
+use std::fmt::Write as _;
+
+/// Table 2 in the paper's layout, with the paper's numbers alongside.
+#[must_use]
+pub fn table2_report() -> String {
+    let t = table2(&ProcessorConfig::paper(), &MetalHwConfig::paper());
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 2: hardware resources for adding Metal ==\n");
+    let _ = write!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "\npaper:          Baseline     Metal   %Change\n\
+         Number of Wires   170,264   197,705    16.1%\n\
+         Number of Cells   180,546   206,384    14.3%"
+    );
+    let base = baseline_processor(&ProcessorConfig::paper());
+    let metal = metal_processor(&ProcessorConfig::paper(), &MetalHwConfig::paper());
+    let _ = writeln!(out, "\nbaseline breakdown:\n{}", base.tree_report());
+    let _ = writeln!(
+        out,
+        "metal block breakdown:\n{}",
+        metal.find("metal").expect("metal block present").tree_report()
+    );
+    out
+}
+
+/// E8: overhead as a function of the Metal geometry.
+#[must_use]
+pub fn ablation_report() -> String {
+    let base_cfg = ProcessorConfig::paper();
+    let mut out = String::new();
+    let _ = writeln!(out, "== E8: hardware-cost ablation ==\n");
+    let _ = writeln!(out, "MRAM code size sweep (cells overhead %):");
+    let _ = writeln!(out, "{:<12} {:>10} {:>10}", "code bytes", "cells %", "wires %");
+    for code in [256u64, 512, 768, 1024, 2048, 4096, 8192] {
+        let cfg = MetalHwConfig {
+            mram_code_bytes: code,
+            ..MetalHwConfig::paper()
+        };
+        let t = table2(&base_cfg, &cfg);
+        let _ = writeln!(out, "{code:<12} {:>9.1}% {:>9.1}%", t.cells_pct, t.wires_pct);
+    }
+    let _ = writeln!(out, "\nentry-table slots sweep:");
+    let _ = writeln!(out, "{:<12} {:>10}", "slots", "cells %");
+    for slots in [16u64, 32, 64, 128] {
+        let cfg = MetalHwConfig {
+            entry_slots: slots,
+            ..MetalHwConfig::paper()
+        };
+        let t = table2(&base_cfg, &cfg);
+        let _ = writeln!(out, "{slots:<12} {:>9.1}%", t.cells_pct);
+    }
+    let _ = writeln!(out, "\ninterception slots sweep:");
+    let _ = writeln!(out, "{:<12} {:>10}", "slots", "cells %");
+    for slots in [4u64, 8, 16, 32] {
+        let cfg = MetalHwConfig {
+            intercept_slots: slots,
+            ..MetalHwConfig::paper()
+        };
+        let t = table2(&base_cfg, &cfg);
+        let _ = writeln!(out, "{slots:<12} {:>9.1}%", t.cells_pct);
+    }
+    let _ = writeln!(
+        out,
+        "\nnote: the paper calls Table 2 an upper bound because real cores\n\
+         are bigger; the same effect appears here by growing the caches:"
+    );
+    let _ = writeln!(out, "{:<16} {:>10}", "cache KiB each", "cells %");
+    for kib in [2u64, 4, 8, 16, 32] {
+        let cfg = ProcessorConfig {
+            icache_bytes: kib * 1024,
+            dcache_bytes: kib * 1024,
+            ..ProcessorConfig::paper()
+        };
+        let t = table2(&cfg, &MetalHwConfig::paper());
+        let _ = writeln!(out, "{kib:<16} {:>9.1}%", t.cells_pct);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shrinks_on_bigger_cores() {
+        let small = table2(
+            &ProcessorConfig {
+                icache_bytes: 2048,
+                dcache_bytes: 2048,
+                ..ProcessorConfig::paper()
+            },
+            &MetalHwConfig::paper(),
+        );
+        let big = table2(
+            &ProcessorConfig {
+                icache_bytes: 32 * 1024,
+                dcache_bytes: 32 * 1024,
+                ..ProcessorConfig::paper()
+            },
+            &MetalHwConfig::paper(),
+        );
+        assert!(
+            big.cells_pct < small.cells_pct / 3.0,
+            "Table 2 is an upper bound: {:.1}% vs {:.1}%",
+            big.cells_pct,
+            small.cells_pct
+        );
+    }
+
+    #[test]
+    fn mram_size_drives_the_overhead() {
+        let base = ProcessorConfig::paper();
+        let small = table2(
+            &base,
+            &MetalHwConfig {
+                mram_code_bytes: 256,
+                ..MetalHwConfig::paper()
+            },
+        );
+        let big = table2(
+            &base,
+            &MetalHwConfig {
+                mram_code_bytes: 8192,
+                ..MetalHwConfig::paper()
+            },
+        );
+        assert!(big.cells_pct > small.cells_pct * 2.0);
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(table2_report().contains("Number of Cells"));
+        assert!(ablation_report().contains("sweep"));
+    }
+}

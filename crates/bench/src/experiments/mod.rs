@@ -1,0 +1,39 @@
+//! The experiment implementations, one module per table/figure.
+
+pub mod hwcost_exp;
+pub mod isolation_exp;
+pub mod nested_exp;
+pub mod pagetable_exp;
+pub mod privilege_exp;
+pub mod shadow_exp;
+pub mod static_artifacts;
+pub mod stm_exp;
+pub mod transition;
+pub mod uintr_exp;
+
+/// Every experiment id the `reproduce` binary accepts.
+pub const ALL: &[&str] = &[
+    "table1", "figure1", "figure2", "table2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+    "e9",
+];
+
+/// Runs one experiment by id, returning its text report.
+#[must_use]
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => static_artifacts::table1(),
+        "figure1" => static_artifacts::figure1(),
+        "figure2" => static_artifacts::figure2(),
+        "table2" => hwcost_exp::table2_report(),
+        "e1" | "e1-transition" => transition::report(),
+        "e2" | "e2-privilege" => privilege_exp::report(),
+        "e3" | "e3-pagetable" => pagetable_exp::report(),
+        "e4" | "e4-stm" => stm_exp::report(),
+        "e5" | "e5-uintr" => uintr_exp::report(),
+        "e6" | "e6-isolation" => isolation_exp::report(),
+        "e7" | "e7-nested" => nested_exp::report(),
+        "e8" | "e8-hwcost-ablation" => hwcost_exp::ablation_report(),
+        "e9" | "e9-shadowstack" => shadow_exp::report(),
+        _ => return None,
+    })
+}

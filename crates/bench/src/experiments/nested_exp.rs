@@ -1,0 +1,138 @@
+//! E7: nested Metal — chained interception cost.
+//!
+//! Paper §3.5: with layered mroutines, "instruction interception
+//! proceeds in reverse, with higher layers intercepting the instruction
+//! first", propagating downward when a handler reuses the instruction.
+//! Measured: the cost of an intercepted store as the chain deepens from
+//! zero layers (raw store) to one and two.
+
+use crate::harness::{run_to_halt, std_config};
+use metal_core::{Metal, MetalBuilder};
+use metal_pipeline::Core;
+use std::fmt::Write as _;
+
+const STORES: u64 = 100;
+
+/// A minimal forwarding handler for layer `n`: counts, re-executes the
+/// store (chaining to lower layers), skips, returns.
+fn chain_handler(slot: u32) -> String {
+    format!(
+        r"
+        rmr t1, m31
+        wmr m2{extra}, t1          # save return address (reentrancy)
+        mld t0, {slot}(zero)
+        addi t0, t0, 1
+        mst t0, {slot}(zero)
+        sw a1, 0(s0)               # re-execute: chains downward
+        rmr t1, m2{extra}
+        addi t1, t1, 4
+        wmr m31, t1
+        mexit
+        ",
+        extra = slot / 4, // distinct save registers m20/m21 per layer
+        slot = 80 + slot,
+    )
+}
+
+/// Terminal handler: emulates the store physically and skips.
+fn terminal_handler() -> &'static str {
+    r"
+    mld t0, 88(zero)
+    addi t0, t0, 1
+    mst t0, 88(zero)
+    mpst s0, a1
+    rmr t1, m31
+    addi t1, t1, 4
+    wmr m31, t1
+    mexit
+    "
+}
+
+fn build(layers: usize) -> Core<Metal> {
+    let mut builder = MetalBuilder::new().layers(layers.max(1));
+    // Arm routine: program each layer's STORE intercept.
+    let mut arm = String::new();
+    for layer in 0..layers {
+        let entry = 10 + layer; // handler entries 10, 11
+        arm.push_str(&format!(
+            "    li t2, {layer}\n    mlayer t2\n    li t0, 0x23\n    li t1, {target}\n    mintercept t0, t1\n",
+            target = (entry << 1) | 1
+        ));
+    }
+    arm.push_str("    li t0, 1\n    wmr mstatus, t0\n    mexit\n");
+    builder = builder.routine(9, "arm", &arm);
+    if layers >= 1 {
+        builder = builder.routine(10, "l0", terminal_handler());
+    }
+    if layers >= 2 {
+        builder = builder.routine(11, "l1", &chain_handler(4));
+    }
+    builder.build_core(std_config()).unwrap()
+}
+
+/// Cycles per store with `layers` interception layers armed.
+fn per_store(layers: usize) -> f64 {
+    let program = |arm: bool| {
+        let prologue = if arm { "menter 9" } else { "nop" };
+        format!(
+            r"
+            li s0, 0x40000
+            li a1, 7
+            {prologue}
+            li s1, {STORES}
+        loop:
+            sw a1, 0(s0)
+            addi s1, s1, -1
+            bnez s1, loop
+            ebreak
+            "
+        )
+    };
+    let mut with = build(layers.max(1));
+    if layers == 0 {
+        run_to_halt(&mut with, &program(false), 100_000_000);
+    } else {
+        run_to_halt(&mut with, &program(true), 100_000_000);
+    }
+    let with_cycles = with.state.perf.cycles;
+    let mut base = build(1);
+    run_to_halt(&mut base, &program(false), 100_000_000);
+    (with_cycles as f64 - base.state.perf.cycles as f64) / STORES as f64
+}
+
+/// The E7 report.
+#[must_use]
+pub fn report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== E7: nested Metal, chained interception ==\n");
+    let _ = writeln!(out, "{:<34} {:>16}", "layers intercepting a store", "extra cyc/store");
+    for layers in [0usize, 1, 2] {
+        let _ = writeln!(out, "{layers:<34} {:>16.1}", per_store(layers));
+    }
+    let _ = writeln!(
+        out,
+        "\neach additional layer adds roughly one handler execution: the\n\
+         downward-propagation design costs linearly in chain depth, and\n\
+         handlers must save m31 before re-executing (the paper's\n\
+         reentrancy caveat)."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_depth_costs_linearly() {
+        let none = per_store(0);
+        let one = per_store(1);
+        let two = per_store(2);
+        assert!(none.abs() < 2.0, "unarmed stores are free: {none:.2}");
+        assert!(one > none + 3.0, "one layer costs a handler: {one:.2}");
+        assert!(two > one + 3.0, "two layers cost two handlers: {two:.2}");
+        // Roughly linear: the second layer costs no more than 3x the
+        // first (its handler does strictly more work).
+        assert!(two < one * 4.0, "chain cost should stay linear-ish: {two:.2} vs {one:.2}");
+    }
+}

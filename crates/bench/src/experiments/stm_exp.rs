@@ -1,0 +1,191 @@
+//! E4: software transactional memory via interception.
+//!
+//! Paper §3.3: transactions intercept loads and stores at runtime — no
+//! compiler instrumentation — with TL2-style validation, in "under 100
+//! instructions" of mcode. Measured: per-transaction cost against the
+//! raw (non-transactional) loop, abort rate as two interleaved
+//! transactions overlap more, and the kit's instruction counts.
+
+use crate::harness::{run_to_halt, std_config};
+use metal_core::{Metal, MetalBuilder};
+use metal_ext::stm;
+use metal_pipeline::Core;
+use std::fmt::Write as _;
+
+const LOCKTAB: u32 = 0x30_0000;
+const TXS: u32 = 64;
+
+fn stm_core() -> Core<Metal> {
+    let mut core = stm::install(MetalBuilder::new())
+        .build_core(std_config())
+        .unwrap();
+    core.hooks.mram.data_mut()[1028..1032].copy_from_slice(&LOCKTAB.to_le_bytes());
+    core
+}
+
+/// A read-modify-write transaction over `words` words, repeated TXS
+/// times. `transactional` toggles the STM wrapping.
+fn rmw_program(words: u32, transactional: bool) -> String {
+    let (start, commit) = if transactional {
+        (
+            format!("li a0, 0\n menter {}", stm::entries::TSTART),
+            format!("menter {}", stm::entries::TCOMMIT),
+        )
+    } else {
+        ("nop".to_owned(), "nop".to_owned())
+    };
+    format!(
+        r"
+        li s1, {TXS}
+        li s2, 0x40000
+    txloop:
+        {start}
+        li s3, {words}
+        mv s4, s2
+    body:
+        lw t3, 0(s4)
+        addi t3, t3, 1
+        sw t3, 0(s4)
+        addi s4, s4, 4
+        addi s3, s3, -1
+        bnez s3, body
+        {commit}
+        addi s1, s1, -1
+        bnez s1, txloop
+        ebreak
+        "
+    )
+}
+
+/// Cycles per transaction for a `words`-word RMW body, and the raw
+/// equivalent.
+#[must_use]
+pub fn tx_cost(words: u32) -> (f64, f64) {
+    let mut with = stm_core();
+    run_to_halt(&mut with, &rmw_program(words, true), 100_000_000);
+    let with_cycles = with.state.perf.cycles as f64 / f64::from(TXS);
+    let mut without = stm_core();
+    run_to_halt(&mut without, &rmw_program(words, false), 100_000_000);
+    let without_cycles = without.state.perf.cycles as f64 / f64::from(TXS);
+    (with_cycles, without_cycles)
+}
+
+/// Interleaved-conflict abort rate: T1 reads a probe word, T0 then runs
+/// to commit writing either the same word (conflict) or a private word,
+/// then T1 commits. `conflict_pct` of the rounds collide.
+#[must_use]
+pub fn abort_rate(conflict_pct: u32) -> f64 {
+    let rounds: u32 = 50;
+    let conflicts = rounds * conflict_pct / 100;
+    let program = format!(
+        r"
+        li s1, {rounds}
+        li s5, 0               # round counter
+        li s6, 0               # aborts observed
+        li s7, {conflicts}
+        li s2, 0x40000         # shared word
+        li s3, 0x50004         # private word (distinct lock slot)
+    round:
+        # --- T1 (ctx 1) starts, reads the shared word ---
+        li a0, 1
+        menter {tstart}
+        lw s8, 0(s2)
+        menter {tsuspend}
+        # --- T0 (ctx 0) full transaction ---
+        li a0, 0
+        menter {tstart}
+        blt s5, s7, collide
+        lw t3, 0(s3)           # private: no conflict
+        addi t3, t3, 1
+        sw t3, 0(s3)
+        j t0commit
+    collide:
+        lw t3, 0(s2)           # shared: conflicts with T1's read
+        addi t3, t3, 1
+        sw t3, 0(s2)
+    t0commit:
+        menter {tcommit}
+        # --- T1 resumes and commits ---
+        li a0, 1
+        menter {tresume}
+        addi s8, s8, 1
+        sw s8, 0(s2)
+        menter {tcommit}
+        bnez a0, committed
+        addi s6, s6, 1         # T1 aborted
+    committed:
+        addi s5, s5, 1
+        blt s5, s1, round
+        mv a0, s6
+        ebreak
+        ",
+        tstart = stm::entries::TSTART,
+        tsuspend = stm::entries::TSUSPEND,
+        tresume = stm::entries::TRESUME,
+        tcommit = stm::entries::TCOMMIT,
+    );
+    let mut core = stm_core();
+    let aborts = run_to_halt(&mut core, &program, 500_000_000);
+    f64::from(aborts) / f64::from(rounds) * 100.0
+}
+
+/// The E4 report.
+#[must_use]
+pub fn report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== E4: software transactional memory ==\n");
+    let _ = writeln!(out, "transaction cost (read-modify-write of N words):");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>12} {:>10}",
+        "words", "tx cyc", "raw cyc", "factor"
+    );
+    for words in [1u32, 2, 4, 8] {
+        let (tx, raw) = tx_cost(words);
+        let _ = writeln!(
+            out,
+            "{words:<8} {tx:>14.1} {raw:>12.1} {:>9.1}x",
+            tx / raw
+        );
+    }
+    let _ = writeln!(out, "\nabort rate vs conflict probability (interleaved TL2):");
+    let _ = writeln!(out, "{:<16} {:>12}", "conflict %", "abort %");
+    for pct in [0u32, 25, 50, 75, 100] {
+        let _ = writeln!(out, "{pct:<16} {:>12.0}", abort_rate(pct));
+    }
+    let _ = writeln!(out, "\nmroutine sizes (paper: \"under 100 instructions\"):");
+    for (name, count) in stm::instruction_counts() {
+        let _ = writeln!(out, "  {name:<10} {count:>4} insns");
+    }
+    let _ = writeln!(
+        out,
+        "\nnote: ~64% of tread/twrite is the 32-way register-dispatch stub\n\
+         tables (2 insns/reg); the TL2 logic itself is ~230 instructions,\n\
+         the same order as the paper's claim."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_tracks_conflicts() {
+        assert_eq!(abort_rate(0), 0.0, "disjoint transactions never abort");
+        let half = abort_rate(50);
+        assert!((45.0..=55.0).contains(&half), "got {half}");
+        assert_eq!(abort_rate(100), 100.0);
+    }
+
+    #[test]
+    fn transactions_cost_more_than_raw_but_bounded() {
+        let (tx, raw) = tx_cost(4);
+        assert!(tx > raw, "instrumentation is not free");
+        assert!(
+            tx / raw < 60.0,
+            "per-access emulation should stay bounded: {:.1}x",
+            tx / raw
+        );
+    }
+}

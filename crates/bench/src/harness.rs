@@ -1,0 +1,55 @@
+//! Shared measurement helpers.
+
+use metal_core::Metal;
+use metal_mem::CacheConfig;
+use metal_pipeline::state::CoreConfig;
+use metal_pipeline::{Core, HaltReason, Hooks};
+
+/// A realistic small-core memory configuration: 4 KiB caches, 15-cycle
+/// miss penalty (the setting all experiments share unless they sweep
+/// it).
+#[must_use]
+pub fn std_config() -> CoreConfig {
+    CoreConfig {
+        icache: CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 32,
+            hit_latency: 1,
+            miss_penalty: 15,
+        },
+        dcache: CacheConfig {
+            size_bytes: 4 * 1024,
+            line_bytes: 32,
+            hit_latency: 1,
+            miss_penalty: 15,
+        },
+        ram_bytes: 16 << 20,
+        ..CoreConfig::default()
+    }
+}
+
+/// Assembles `src`, loads it at 0, runs to halt; panics on non-`ebreak`
+/// halts (experiment programs are library-internal).
+pub fn run_to_halt<H: Hooks>(core: &mut Core<H>, src: &str, max_cycles: u64) -> u32 {
+    let words = metal_asm::assemble_at(src, 0).unwrap_or_else(|e| panic!("bench program: {e}"));
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    core.load_segments([(0u32, bytes.as_slice())], 0);
+    match core.run(max_cycles) {
+        Some(HaltReason::Ebreak { code }) => code,
+        other => panic!("bench program did not complete: {other:?}"),
+    }
+}
+
+/// Runs `src` on a fresh Metal core built by `build` and returns total
+/// cycles.
+pub fn cycles_of(build: impl Fn() -> Core<Metal>, src: &str) -> u64 {
+    let mut core = build();
+    run_to_halt(&mut core, src, 50_000_000);
+    core.state.perf.cycles
+}
+
+/// Formats a cycles-per-operation float.
+#[must_use]
+pub fn per_op(total_with: u64, total_without: u64, ops: u64) -> f64 {
+    (total_with as f64 - total_without as f64) / ops as f64
+}

@@ -1,0 +1,97 @@
+//! Exception and interrupt delegation.
+//!
+//! "Our processor delegates all exception and interrupt delivery to
+//! Metal. We assign specific mroutines to handle interrupts and
+//! exceptions." (paper §2.3) A cause with no delegated mroutine falls
+//! back to the baseline `mtvec` path, so partially-delegated systems
+//! also work.
+
+use metal_pipeline::trap::TrapCause;
+
+/// Per-layer delegation tables: exception cause → entry, IRQ line →
+/// entry.
+#[derive(Clone, Debug, Default)]
+pub struct DelegationMap {
+    exceptions: [Option<u8>; 32],
+    interrupts: [Option<u8>; 32],
+    /// Catch-all for exceptions with no specific entry.
+    all_exceptions: Option<u8>,
+}
+
+impl DelegationMap {
+    /// An empty map (everything falls back to the baseline path).
+    #[must_use]
+    pub fn new() -> DelegationMap {
+        DelegationMap::default()
+    }
+
+    /// Delegates one exception cause to an mroutine entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with an interrupt cause (use
+    /// [`DelegationMap::delegate_interrupt`]).
+    pub fn delegate_exception(&mut self, cause: TrapCause, entry: u8) {
+        assert!(
+            !cause.is_interrupt(),
+            "use delegate_interrupt for interrupt causes"
+        );
+        self.exceptions[cause.code() as usize & 31] = Some(entry);
+    }
+
+    /// Delegates every exception without a specific entry to `entry`.
+    pub fn delegate_all_exceptions(&mut self, entry: u8) {
+        self.all_exceptions = Some(entry);
+    }
+
+    /// Delegates an interrupt line to an mroutine entry.
+    pub fn delegate_interrupt(&mut self, line: u8, entry: u8) {
+        self.interrupts[usize::from(line) & 31] = Some(entry);
+    }
+
+    /// Removes an interrupt delegation.
+    pub fn undelegate_interrupt(&mut self, line: u8) {
+        self.interrupts[usize::from(line) & 31] = None;
+    }
+
+    /// The entry handling `cause`, if delegated.
+    #[must_use]
+    pub fn lookup(&self, cause: TrapCause) -> Option<u8> {
+        match cause {
+            TrapCause::Interrupt(line) => self.interrupts[usize::from(line) & 31],
+            other => self.exceptions[other.code() as usize & 31].or(self.all_exceptions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specific_beats_catch_all() {
+        let mut d = DelegationMap::new();
+        d.delegate_all_exceptions(9);
+        d.delegate_exception(TrapCause::Ecall, 3);
+        assert_eq!(d.lookup(TrapCause::Ecall), Some(3));
+        assert_eq!(d.lookup(TrapCause::LoadPageFault), Some(9));
+    }
+
+    #[test]
+    fn interrupts_separate_from_exceptions() {
+        let mut d = DelegationMap::new();
+        d.delegate_interrupt(1, 4);
+        assert_eq!(d.lookup(TrapCause::Interrupt(1)), Some(4));
+        assert_eq!(d.lookup(TrapCause::Interrupt(0)), None);
+        assert_eq!(d.lookup(TrapCause::Ecall), None);
+        d.undelegate_interrupt(1);
+        assert_eq!(d.lookup(TrapCause::Interrupt(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "delegate_interrupt")]
+    fn exception_api_rejects_interrupts() {
+        let mut d = DelegationMap::new();
+        d.delegate_exception(TrapCause::Interrupt(0), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! The boot-time mroutine loader.
+//!
+//! "At boot time, Metal loads a collection of mcode subroutines called
+//! mroutines, which extend the architecture's instruction set." (paper
+//! §2) [`MetalBuilder`] is that boot flow: assemble each mroutine
+//! against its final address, statically verify it, install it into
+//! MRAM, program delegations, and construct the core. For PALcode-style
+//! dispatch the same image is placed in main memory instead.
+
+use crate::metal::{DispatchStyle, Metal, MetalConfig};
+use crate::verify::{has_errors, verify_routine, Issue, VerifyContext};
+use crate::MetalError;
+use metal_asm::assemble_at;
+use metal_pipeline::state::CoreConfig;
+use metal_pipeline::trap::TrapCause;
+use metal_pipeline::Core;
+
+/// The output of [`MetalBuilder::build`]: the extension, the main-memory
+/// image PALcode dispatch needs, and accumulated verifier warnings.
+pub type BuildOutput = (Metal, Vec<(u32, Vec<u8>)>, Vec<(String, Issue)>);
+
+/// A delegation request recorded before build.
+#[derive(Clone, Debug)]
+enum Delegation {
+    Exception {
+        layer: usize,
+        cause: TrapCause,
+        entry: u8,
+    },
+    AllExceptions {
+        layer: usize,
+        entry: u8,
+    },
+    Interrupt {
+        layer: usize,
+        line: u8,
+        entry: u8,
+    },
+}
+
+/// Builder for a Metal-enabled machine.
+///
+/// # Examples
+///
+/// ```
+/// use metal_core::loader::MetalBuilder;
+/// use metal_pipeline::state::CoreConfig;
+///
+/// let core = MetalBuilder::new()
+///     .routine(0, "add_one", "rmr t0, m31\n addi a0, a0, 1\n mexit")
+///     .build_core(CoreConfig::default())
+///     .unwrap();
+/// assert!(core.hooks.mram.entry(0).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MetalBuilder {
+    config: MetalConfig,
+    routines: Vec<(u8, String, String)>,
+    delegations: Vec<Delegation>,
+    /// Warnings accumulated during the build (available afterwards).
+    pub warnings: Vec<(String, Issue)>,
+}
+
+impl MetalBuilder {
+    /// An empty builder with the default configuration.
+    #[must_use]
+    pub fn new() -> MetalBuilder {
+        MetalBuilder {
+            config: MetalConfig::default(),
+            routines: Vec::new(),
+            delegations: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Overrides the Metal configuration.
+    #[must_use]
+    pub fn config(mut self, config: MetalConfig) -> MetalBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Uses PALcode-style dispatch from main memory at `base` (the E1
+    /// ablation).
+    #[must_use]
+    pub fn palcode(mut self, base: u32) -> MetalBuilder {
+        self.config.dispatch = DispatchStyle::Palcode { base };
+        self
+    }
+
+    /// Sets the number of nested-Metal layers.
+    #[must_use]
+    pub fn layers(mut self, layers: usize) -> MetalBuilder {
+        self.config.layers = layers.max(1);
+        self
+    }
+
+    /// Adds an mroutine (assembly source) bound to `entry`.
+    #[must_use]
+    pub fn routine(mut self, entry: u8, name: &str, src: &str) -> MetalBuilder {
+        self.routines
+            .push((entry, name.to_owned(), src.to_owned()));
+        self
+    }
+
+    /// Delegates an exception cause to an entry (layer 0).
+    #[must_use]
+    pub fn delegate_exception(self, cause: TrapCause, entry: u8) -> MetalBuilder {
+        self.delegate_exception_on(0, cause, entry)
+    }
+
+    /// Delegates an exception cause to an entry on a specific layer.
+    #[must_use]
+    pub fn delegate_exception_on(
+        mut self,
+        layer: usize,
+        cause: TrapCause,
+        entry: u8,
+    ) -> MetalBuilder {
+        self.delegations.push(Delegation::Exception {
+            layer,
+            cause,
+            entry,
+        });
+        self
+    }
+
+    /// Delegates all otherwise-unhandled exceptions to an entry (layer 0).
+    #[must_use]
+    pub fn delegate_all_exceptions(mut self, entry: u8) -> MetalBuilder {
+        self.delegations
+            .push(Delegation::AllExceptions { layer: 0, entry });
+        self
+    }
+
+    /// Delegates an interrupt line to an entry (layer 0).
+    #[must_use]
+    pub fn delegate_interrupt(self, line: u8, entry: u8) -> MetalBuilder {
+        self.delegate_interrupt_on(0, line, entry)
+    }
+
+    /// Delegates an interrupt line to an entry on a specific layer.
+    #[must_use]
+    pub fn delegate_interrupt_on(mut self, layer: usize, line: u8, entry: u8) -> MetalBuilder {
+        self.delegations
+            .push(Delegation::Interrupt { layer, line, entry });
+        self
+    }
+
+    /// Assembles, verifies, and installs everything, producing the Metal
+    /// extension plus the main-memory image PALcode dispatch needs.
+    pub fn build(mut self) -> Result<BuildOutput, MetalError> {
+        let mut metal = Metal::new(self.config);
+        let mut palcode_image: Vec<(u32, Vec<u8>)> = Vec::new();
+        let (window_start, window_end) = match self.config.dispatch {
+            DispatchStyle::Mram => (
+                crate::mram::MRAM_BASE,
+                crate::mram::MRAM_BASE + self.config.mram.code_bytes,
+            ),
+            DispatchStyle::Palcode { base } => (base, base + self.config.mram.code_bytes),
+        };
+        for (entry, name, src) in &self.routines {
+            let base = metal.next_routine_pc();
+            let words = assemble_at(src, base).map_err(|e| MetalError::Assemble {
+                routine: name.clone(),
+                message: e.to_string(),
+            })?;
+            let ctx = VerifyContext {
+                base_pc: base,
+                window_start,
+                window_end,
+                nested_allowed: self.config.layers > 1,
+            };
+            let issues = verify_routine(&words, &ctx);
+            if has_errors(&issues) {
+                return Err(MetalError::Verify {
+                    routine: name.clone(),
+                    issues,
+                });
+            }
+            for issue in issues {
+                self.warnings.push((name.clone(), issue));
+            }
+            metal.install_routine(*entry, name, &words)?;
+            if let DispatchStyle::Palcode { .. } = self.config.dispatch {
+                let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                palcode_image.push((base, bytes));
+            }
+        }
+        for d in &self.delegations {
+            match *d {
+                Delegation::Exception {
+                    layer,
+                    cause,
+                    entry,
+                } => metal.layers[layer].delegation.delegate_exception(cause, entry),
+                Delegation::AllExceptions { layer, entry } => {
+                    metal.layers[layer].delegation.delegate_all_exceptions(entry);
+                }
+                Delegation::Interrupt { layer, line, entry } => {
+                    metal.layers[layer].delegation.delegate_interrupt(line, entry);
+                }
+            }
+        }
+        Ok((metal, palcode_image, self.warnings))
+    }
+
+    /// Builds a complete pipelined core with the Metal extension
+    /// attached (and the PALcode image, if any, loaded into RAM).
+    pub fn build_core(self, core_config: CoreConfig) -> Result<Core<Metal>, MetalError> {
+        let (metal, palcode_image, _warnings) = self.build()?;
+        let mut core = Core::new(core_config, metal);
+        for (base, bytes) in palcode_image {
+            core.state
+                .bus
+                .ram
+                .load(base, &bytes)
+                .map_err(|_| MetalError::PalcodeImage { base })?;
+        }
+        Ok(core)
+    }
+}
+
+impl Default for MetalBuilder {
+    fn default() -> MetalBuilder {
+        MetalBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_installs() {
+        let (metal, image, warnings) = MetalBuilder::new()
+            .routine(0, "nopr", "mexit")
+            .routine(5, "bump", "addi a0, a0, 1\n mexit")
+            .delegate_exception(TrapCause::Ecall, 0)
+            .delegate_interrupt(1, 5)
+            .build()
+            .unwrap();
+        assert!(image.is_empty(), "MRAM dispatch has no RAM image");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert!(metal.mram.entry(0).is_some());
+        assert!(metal.mram.entry(5).is_some());
+        assert_eq!(
+            metal.layers[0].delegation.lookup(TrapCause::Ecall),
+            Some(0)
+        );
+        assert_eq!(
+            metal.layers[0].delegation.lookup(TrapCause::Interrupt(1)),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn verification_failure_names_routine() {
+        let err = MetalBuilder::new()
+            .routine(0, "bad", "ecall\n mexit")
+            .build()
+            .unwrap_err();
+        match err {
+            MetalError::Verify { routine, issues } => {
+                assert_eq!(routine, "bad");
+                assert!(!issues.is_empty());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembly_failure_names_routine() {
+        let err = MetalBuilder::new()
+            .routine(0, "syntax", "frobnicate a0\n")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MetalError::Assemble { ref routine, .. } if routine == "syntax"));
+    }
+
+    #[test]
+    fn palcode_build_produces_image() {
+        let (metal, image, _) = MetalBuilder::new()
+            .palcode(0x10_0000)
+            .routine(0, "nopr", "mexit")
+            .build()
+            .unwrap();
+        assert_eq!(image.len(), 1);
+        assert_eq!(image[0].0, 0x10_0000);
+        assert_eq!(metal.entry_pc(0), Some(0x10_0000));
+    }
+
+    #[test]
+    fn warnings_surface() {
+        let (_, _, warnings) = MetalBuilder::new()
+            .routine(0, "noexit", "addi a0, a0, 1")
+            .build()
+            .unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].1.message.contains("never returns"));
+    }
+}

@@ -1,0 +1,637 @@
+//! The Metal extension: operation modes, fast transitions, architectural
+//! feature dispatch, interception, and trap delegation.
+//!
+//! This type implements [`metal_pipeline::Hooks`] and is the heart of
+//! the reproduction:
+//!
+//! * **Metal mode** (paper §2): a privileged operation mode orthogonal
+//!   to any OS-visible privilege level. `menter` is deliberately *not*
+//!   privileged; everything else in the extension is Metal-mode-only.
+//! * **Fast transitions** (§2.2): `menter`/`mexit` are replaced in the
+//!   decode stage by the first instruction of the target stream, with
+//!   MRAM supplying mroutine code at collocated-RAM latency.
+//! * **Architectural features** (§2.3): physical memory access, TLB
+//!   modification, ASIDs, page keys, interception, and interrupt state,
+//!   all exposed through `march.*` sub-operations executed at EX.
+//! * **Delegation** (§2.3): exceptions and interrupts route to
+//!   mroutines; undelegated causes fall back to the baseline path.
+//! * **Non-interruptibility** (§2.1): interrupts are held while an
+//!   mroutine runs; a fault inside an mroutine is fatal (mroutines are
+//!   statically verified instead — see [`crate::verify`]).
+//! * **Nested layers** (§3.5): interception searches higher layers
+//!   first and propagates downward; interrupt delegation searches lower
+//!   layers first.
+
+use crate::delegate::DelegationMap;
+use crate::intercept::InterceptTable;
+use crate::mram::{Mram, MramConfig, MRAM_BASE};
+use crate::mreg::{EntryCause, MregFile, MSTATUS_INTERCEPT_ENABLE};
+use crate::MetalError;
+use metal_isa::insn::Insn;
+use metal_isa::metal::{MarchOp, MENTER_INDIRECT};
+use metal_isa::reg::Reg;
+use metal_pipeline::hooks::{CustomExec, DecodeOutcome, Hooks, TrapDisposition, TrapEvent};
+use metal_pipeline::state::MachineState;
+use metal_pipeline::trap::{Trap, TrapCause};
+
+/// Where mroutine code physically lives — the ablation axis of
+/// experiment E1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchStyle {
+    /// MRAM collocated with instruction fetch (the Metal design point).
+    Mram,
+    /// PALcode-style: mroutines live in main memory at `base` and are
+    /// fetched through the normal I-cache path (the Alpha design the
+    /// paper cites at ~18 cycles per no-op call, §5).
+    Palcode {
+        /// Physical base address of the mroutine image.
+        base: u32,
+    },
+}
+
+/// Metal configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MetalConfig {
+    /// MRAM geometry.
+    pub mram: MramConfig,
+    /// Where mroutine code lives.
+    pub dispatch: DispatchStyle,
+    /// Model the decode-stage replacement fast path (§2.2). When false,
+    /// `menter`/`mexit` cost a full redirect flush — the second ablation
+    /// axis of E1.
+    pub decode_replacement: bool,
+    /// Number of nested-Metal layers (1 = the base design).
+    pub layers: usize,
+    /// Extra dispatch cycles charged for PALcode-style entry (pipeline
+    /// drain on the Alpha).
+    pub palcode_drain: u32,
+}
+
+impl Default for MetalConfig {
+    fn default() -> MetalConfig {
+        MetalConfig {
+            mram: MramConfig::default(),
+            dispatch: DispatchStyle::Mram,
+            decode_replacement: true,
+            layers: 1,
+            palcode_drain: 2,
+        }
+    }
+}
+
+/// One nested-Metal layer: its interception rules and delegation tables.
+#[derive(Clone, Debug, Default)]
+pub struct Layer {
+    /// Interception rules of this layer.
+    pub intercepts: InterceptTable,
+    /// Trap delegation of this layer.
+    pub delegation: DelegationMap,
+}
+
+/// Execution mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Normal (application/OS) execution.
+    Normal,
+    /// Executing an mroutine on behalf of `layer`.
+    Metal {
+        /// The layer whose tables triggered entry (intercept chaining
+        /// searches strictly below this).
+        layer: usize,
+    },
+}
+
+/// Event counters for the extension.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetalStats {
+    /// `menter` transitions.
+    pub menters: u64,
+    /// `mexit` transitions.
+    pub mexits: u64,
+    /// Intercepted instructions.
+    pub intercepts: u64,
+    /// Exceptions delivered to mroutines.
+    pub delegated_exceptions: u64,
+    /// Interrupts delivered to mroutines.
+    pub delegated_interrupts: u64,
+    /// Nested `menter` calls from Metal mode.
+    pub nested_calls: u64,
+}
+
+/// The Metal extension state.
+#[derive(Clone, Debug)]
+pub struct Metal {
+    /// The MRAM (code + data + entry table).
+    pub mram: Mram,
+    /// Metal registers and control registers.
+    pub mregs: MregFile,
+    /// Nested layers (index 0 is the lowest/outermost, e.g. the VMM).
+    pub layers: Vec<Layer>,
+    /// Event counters.
+    pub stats: MetalStats,
+    config: MetalConfig,
+    /// Stack of Metal-mode contexts (the layer each entry executes on
+    /// behalf of). Empty = normal mode. Chained intercepts and nested
+    /// `menter` push; `mexit` pops — hardware tracks the mode nesting,
+    /// while saving/restoring `m31` across nested entries is software's
+    /// responsibility (the reentrancy requirement of paper §3.5).
+    mode_stack: Vec<usize>,
+    /// Layer whose tables `mintercept`/`mlayer` currently target, and
+    /// the layer attributed to `menter` entries.
+    active_layer: usize,
+}
+
+impl Metal {
+    /// Creates the extension with no mroutines installed (use
+    /// [`crate::loader::MetalBuilder`] for the full flow).
+    #[must_use]
+    pub fn new(config: MetalConfig) -> Metal {
+        let layers = config.layers.max(1);
+        Metal {
+            mram: Mram::new(config.mram),
+            mregs: MregFile::new(),
+            layers: vec![Layer::default(); layers],
+            stats: MetalStats::default(),
+            config,
+            mode_stack: Vec::new(),
+            active_layer: layers - 1,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MetalConfig {
+        &self.config
+    }
+
+    /// Current operation mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        match self.mode_stack.last() {
+            Some(&layer) => Mode::Metal { layer },
+            None => Mode::Normal,
+        }
+    }
+
+    /// Nesting depth (0 = normal mode).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.mode_stack.len()
+    }
+
+    /// The layer new `menter` entries and table programming target.
+    #[must_use]
+    pub fn active_layer(&self) -> usize {
+        self.active_layer
+    }
+
+    /// Sets the active layer (host-side; guest code uses `mlayer`).
+    pub fn set_active_layer(&mut self, layer: usize) {
+        self.active_layer = layer.min(self.layers.len() - 1);
+    }
+
+    /// Convenience: the lowest layer's delegation map (the common case
+    /// for single-layer systems).
+    pub fn delegation_mut(&mut self) -> &mut DelegationMap {
+        &mut self.layers[0].delegation
+    }
+
+    /// PC of an entry's first instruction under the configured dispatch
+    /// style.
+    #[must_use]
+    pub fn entry_pc(&self, entry: u8) -> Option<u32> {
+        let info = self.mram.entry(entry)?;
+        Some(match self.config.dispatch {
+            DispatchStyle::Mram => MRAM_BASE + info.offset,
+            DispatchStyle::Palcode { base } => base + info.offset,
+        })
+    }
+
+    /// Reads the first word of an entry's code and the decode-stall its
+    /// dispatch costs.
+    fn dispatch_fetch(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+    ) -> Result<(u32, u32), Trap> {
+        match self.config.dispatch {
+            DispatchStyle::Mram => {
+                let word = self
+                    .mram
+                    .code_word(pc)
+                    .map_err(|_| Trap::new(TrapCause::InsnAccessFault, pc))?;
+                Ok((word, self.mram.fetch_latency().saturating_sub(1)))
+            }
+            DispatchStyle::Palcode { .. } => {
+                // PALcode runs with instruction translation disabled
+                // (as on the Alpha): fetch physically through the
+                // I-cache path.
+                let (word, latency) = Self::palcode_fetch(state, pc)?;
+                Ok((word, latency.saturating_sub(1) + self.config.palcode_drain))
+            }
+        }
+    }
+
+    /// Physical (untranslated) fetch through the I-cache, used for
+    /// PALcode-style mroutine code.
+    fn palcode_fetch(state: &mut MachineState, pc: u32) -> Result<(u32, u32), Trap> {
+        let word = state
+            .bus
+            .read_u32(pc)
+            .map_err(|e| Trap::new(TrapCause::InsnAccessFault, e.addr()))?;
+        let latency = state.icache.access(pc);
+        Ok((word, latency))
+    }
+
+    /// True if `pc` lies in the PALcode image region.
+    fn in_palcode(&self, pc: u32) -> bool {
+        match self.config.dispatch {
+            DispatchStyle::Palcode { base } => {
+                pc >= base && pc < base + self.config.mram.code_bytes
+            }
+            DispatchStyle::Mram => false,
+        }
+    }
+
+    /// Enters Metal mode for `cause` at `entry`, returning the decode
+    /// replacement. `return_pc` is stored in `m31`.
+    fn enter(
+        &mut self,
+        state: &mut MachineState,
+        entry: u8,
+        cause: EntryCause,
+        return_pc: u32,
+    ) -> Result<DecodeOutcome, Trap> {
+        let Some(pc) = self.entry_pc(entry) else {
+            return Err(Trap::new(TrapCause::IllegalInstruction, u32::from(entry)));
+        };
+        let (word, mut stall) = self.dispatch_fetch(state, pc)?;
+        if !self.config.decode_replacement {
+            stall += 2; // full redirect instead of in-slot replacement
+        }
+        self.mregs.set(31, return_pc);
+        self.mregs.mcause = cause.encode();
+        self.mregs.mentry = u32::from(entry);
+        let layer = match self.mode() {
+            Mode::Normal => self.active_layer,
+            Mode::Metal { layer } => layer,
+        };
+        self.mode_stack.push(layer);
+        Ok(DecodeOutcome::Replace {
+            word,
+            pc,
+            next_fetch: pc.wrapping_add(4),
+            stall,
+        })
+    }
+
+    /// The entry that intercepts `word` when executing in `mode`, if any.
+    fn intercept_lookup(&self, word: u32) -> Option<(u8, usize)> {
+        if self.mregs.mstatus & MSTATUS_INTERCEPT_ENABLE == 0 {
+            return None;
+        }
+        let upper = match self.mode() {
+            // Normal mode: all layers, highest first (paper §3.5).
+            Mode::Normal => self.layers.len(),
+            // Metal mode at layer L: only strictly lower layers — the
+            // downward propagation rule.
+            Mode::Metal { layer } => layer,
+        };
+        (0..upper)
+            .rev()
+            .find_map(|l| self.layers[l].intercepts.lookup(word).map(|e| (e, l)))
+    }
+
+    /// Delegation lookup: lowest layer first ("interrupts propagate from
+    /// lower to higher layers", §3.5; exceptions likewise reach the
+    /// outermost software first, as with nested page tables).
+    fn delegation_lookup(&self, cause: TrapCause) -> Option<(u8, usize)> {
+        (0..self.layers.len())
+            .find_map(|l| self.layers[l].delegation.lookup(cause).map(|e| (e, l)))
+    }
+}
+
+impl Hooks for Metal {
+    fn fetch(&mut self, state: &mut MachineState, pc: u32) -> Option<Result<(u32, u32), Trap>> {
+        // PALcode-style mroutines execute with translation off.
+        if self.in_palcode(pc) && self.mode() != Mode::Normal {
+            return Some(Self::palcode_fetch(state, pc));
+        }
+        if !self.mram.contains_pc(pc) {
+            return None;
+        }
+        // MRAM is executable only in Metal mode; normal-mode jumps into
+        // the window fault.
+        if self.mode() == Mode::Normal {
+            return Some(Err(Trap::new(TrapCause::InsnAccessFault, pc)));
+        }
+        Some(
+            self.mram
+                .code_word(pc)
+                .map(|word| (word, self.mram.fetch_latency()))
+                .map_err(|_| Trap::new(TrapCause::InsnAccessFault, pc)),
+        )
+    }
+
+    fn decode_is_sensitive(&self, _state: &MachineState, word: u32, insn: &Insn) -> bool {
+        matches!(insn, Insn::Menter { .. } | Insn::Mexit)
+            || self.intercept_lookup(word).is_some()
+    }
+
+    fn decode(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+        word: u32,
+        insn: &Insn,
+    ) -> DecodeOutcome {
+        // Interception first: it applies to ordinary instructions.
+        if !insn.is_metal() {
+            if let Some((entry, layer)) = self.intercept_lookup(word) {
+                self.stats.intercepts += 1;
+                // m31 = the intercepted instruction itself: the handler
+                // advances it past the instruction after emulating, or
+                // leaves it to re-execute.
+                self.mregs.minsn = word;
+                return match self.enter(state, entry, EntryCause::Intercept, pc) {
+                    Ok(outcome) => {
+                        // Execution is attributed to the layer owning the
+                        // matched rule, so chained intercepts keep
+                        // propagating strictly downward.
+                        if let Some(top) = self.mode_stack.last_mut() {
+                            *top = layer;
+                        }
+                        outcome
+                    }
+                    Err(trap) => DecodeOutcome::Fault { trap, pc: None },
+                };
+            }
+            return DecodeOutcome::Pass;
+        }
+        match (*insn, self.mode()) {
+            (Insn::Menter { rs1, entry }, mode) => {
+                let entry = if entry == MENTER_INDIRECT {
+                    // Register-indirect entry; the pipeline's decode
+                    // interlock guarantees rs1 is not in flight.
+                    (state.regs.get(rs1) & 0x3F) as u8
+                } else {
+                    entry as u8
+                };
+                if mode != Mode::Normal {
+                    if self.config.layers <= 1 {
+                        // Nested calls need the layered design.
+                        return DecodeOutcome::Fault {
+                            trap: Trap::illegal(word),
+                            pc: None,
+                        };
+                    }
+                    self.stats.nested_calls += 1;
+                } else {
+                    self.stats.menters += 1;
+                }
+                match self.enter(state, entry, EntryCause::Call, pc.wrapping_add(4)) {
+                    Ok(outcome) => outcome,
+                    Err(trap) => DecodeOutcome::Fault { trap, pc: None },
+                }
+            }
+            (Insn::Mexit, Mode::Metal { .. }) => {
+                let target = self.mregs.return_address();
+                self.stats.mexits += 1;
+                self.mode_stack.pop();
+                // A nested mexit unwinds into the *outer mroutine*, whose
+                // code lives in MRAM; only the outermost mexit returns to
+                // the normal fetch path.
+                let fetched = if self.mram.contains_pc(target) {
+                    if self.mode() == Mode::Normal {
+                        Err(Trap::new(TrapCause::InsnAccessFault, target))
+                    } else {
+                        self.mram
+                            .code_word(target)
+                            .map(|word| (word, self.mram.fetch_latency()))
+                            .map_err(|_| Trap::new(TrapCause::InsnAccessFault, target))
+                    }
+                } else if self.in_palcode(target) && self.mode() != Mode::Normal {
+                    Self::palcode_fetch(state, target)
+                } else {
+                    state.fetch(target)
+                };
+                match fetched {
+                    Ok((word, latency)) => {
+                        let mut stall = latency.saturating_sub(1);
+                        if !self.config.decode_replacement {
+                            stall += 2;
+                        }
+                        DecodeOutcome::Replace {
+                            word,
+                            pc: target,
+                            next_fetch: target.wrapping_add(4),
+                            stall,
+                        }
+                    }
+                    // The return fetch faulted: the fault belongs to the
+                    // return address, taken in normal mode.
+                    Err(trap) => DecodeOutcome::Fault {
+                        trap,
+                        pc: Some(target),
+                    },
+                }
+            }
+            // Metal-mode-only instructions in normal mode trap (Table 1).
+            (_, Mode::Normal) => DecodeOutcome::Fault {
+                trap: Trap::illegal(word),
+                pc: None,
+            },
+            // rmr/wmr/mld/mst/march in Metal mode execute at EX.
+            _ => DecodeOutcome::Pass,
+        }
+    }
+
+    fn exec_custom(
+        &mut self,
+        state: &mut MachineState,
+        _pc: u32,
+        word: u32,
+        insn: &Insn,
+        rs1: u32,
+        rs2: u32,
+    ) -> Result<CustomExec, Trap> {
+        debug_assert!(
+            matches!(self.mode(), Mode::Metal { .. }),
+            "decode gate lets Metal instructions reach EX only in Metal mode"
+        );
+        match *insn {
+            Insn::Rmr { idx, .. } => Ok(CustomExec {
+                writeback: Some(self.mregs.read(idx, state)),
+                extra_cycles: 0,
+            }),
+            Insn::Wmr { idx, .. } => {
+                self.mregs.write(idx, rs1);
+                Ok(CustomExec::default())
+            }
+            Insn::Mld { offset, .. } => {
+                let addr = rs1.wrapping_add(offset as u32);
+                let value = self
+                    .mram
+                    .data_load(addr)
+                    .map_err(|_| Trap::new(TrapCause::LoadAccessFault, addr))?;
+                Ok(CustomExec {
+                    writeback: Some(value),
+                    extra_cycles: 0,
+                })
+            }
+            Insn::Mst { offset, .. } => {
+                let addr = rs1.wrapping_add(offset as u32);
+                self.mram
+                    .data_store(addr, rs2)
+                    .map_err(|_| Trap::new(TrapCause::StoreAccessFault, addr))?;
+                Ok(CustomExec::default())
+            }
+            Insn::March { op, .. } => self.exec_march(state, op, insn, rs1, rs2),
+            _ => Err(Trap::illegal(word)),
+        }
+    }
+
+    fn on_trap(&mut self, _state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
+        if let Mode::Metal { .. } = self.mode() {
+            // A fault inside a non-interruptible mroutine: there is no
+            // handler to recurse into. Static verification is supposed
+            // to prevent this (paper §2.1).
+            return TrapDisposition::Fatal;
+        }
+        let Some((entry, layer)) = self.delegation_lookup(event.cause) else {
+            return TrapDisposition::Default;
+        };
+        let Some(pc) = self.entry_pc(entry) else {
+            return TrapDisposition::Fatal;
+        };
+        let cause = match event.cause {
+            TrapCause::Interrupt(line) => {
+                self.stats.delegated_interrupts += 1;
+                self.mregs.soft_ipend |= 1 << line;
+                EntryCause::Interrupt(line)
+            }
+            other => {
+                self.stats.delegated_exceptions += 1;
+                EntryCause::Exception(other)
+            }
+        };
+        self.mregs.set(31, event.pc);
+        self.mregs.mcause = cause.encode();
+        self.mregs.mbadaddr = event.tval;
+        self.mregs.mentry = u32::from(entry);
+        self.mode_stack.push(layer);
+        // Delegated dispatch still reads the handler from MRAM next
+        // fetch; charge only the non-MRAM penalty.
+        let stall = match self.config.dispatch {
+            DispatchStyle::Mram => 0,
+            DispatchStyle::Palcode { .. } => self.config.palcode_drain,
+        };
+        TrapDisposition::Redirect { target: pc, stall }
+    }
+
+    fn interrupts_allowed(&self, _state: &MachineState) -> bool {
+        // "Metal mroutines are non-interruptible" (paper §2.1).
+        self.mode() == Mode::Normal
+    }
+}
+
+impl Metal {
+    fn exec_march(
+        &mut self,
+        state: &mut MachineState,
+        op: MarchOp,
+        insn: &Insn,
+        rs1: u32,
+        rs2: u32,
+    ) -> Result<CustomExec, Trap> {
+        let mut exec = CustomExec::default();
+        match op {
+            MarchOp::Mpld => {
+                let (value, latency) = state.phys_load(rs1)?;
+                exec.writeback = Some(value);
+                exec.extra_cycles = latency.saturating_sub(1);
+            }
+            MarchOp::Mpst => {
+                let latency = state.phys_store(rs1, rs2)?;
+                exec.extra_cycles = latency.saturating_sub(1);
+            }
+            MarchOp::Mtlbw => {
+                state
+                    .tlb
+                    .install(rs1, metal_mem::tlb::Pte(rs2), state.asid);
+            }
+            MarchOp::Mtlbi => {
+                // `mtlbi x0` flushes the current ASID (register identity,
+                // not value: va 0 remains invalidatable).
+                let is_x0 = matches!(insn, Insn::March { rs1: r, .. } if *r == Reg::ZERO);
+                if is_x0 {
+                    let asid = state.asid;
+                    state.tlb.flush_asid(asid);
+                } else {
+                    let asid = state.asid;
+                    state.tlb.invalidate(rs1, asid);
+                }
+            }
+            MarchOp::Mtlbp => {
+                exec.writeback = Some(state.tlb.probe(rs1, state.asid));
+            }
+            MarchOp::Masid => {
+                state.asid = rs1 as u16;
+            }
+            MarchOp::Mpkey => {
+                state.tlb.set_key_perms(rs1, rs2);
+            }
+            MarchOp::Mintercept => {
+                let ok = self.layers[self.active_layer]
+                    .intercepts
+                    .program(rs1, rs2);
+                if !ok {
+                    return Err(Trap::new(TrapCause::IllegalInstruction, rs1));
+                }
+            }
+            MarchOp::Mipend => {
+                exec.writeback = Some(state.perf.mip_snapshot | self.mregs.soft_ipend);
+            }
+            MarchOp::Miack => {
+                self.mregs.soft_ipend &= !(1 << (rs1 & 31));
+            }
+            MarchOp::Mlayer => {
+                let layer = (rs1 as usize).min(self.layers.len() - 1);
+                self.active_layer = layer;
+                // Executing code may also reassign its own layer for
+                // downward-intercept attribution.
+                if let Some(top) = self.mode_stack.last_mut() {
+                    *top = layer;
+                }
+            }
+            MarchOp::Mtlbiall => {
+                state.tlb.flush_all();
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Installs an mroutine from pre-assembled words. Most callers use
+    /// [`crate::loader::MetalBuilder`] instead, which assembles and
+    /// verifies sources.
+    pub fn install_routine(
+        &mut self,
+        entry: u8,
+        name: &str,
+        words: &[u32],
+    ) -> Result<u32, MetalError> {
+        self.mram.install(entry, name, words)?;
+        Ok(self.entry_pc(entry).expect("just installed"))
+    }
+
+    /// The PC where the *next* routine will be installed (assemble
+    /// sources against this base).
+    #[must_use]
+    pub fn next_routine_pc(&self) -> u32 {
+        let offset = self.mram.config().code_bytes - self.mram.code_free();
+        match self.config.dispatch {
+            DispatchStyle::Mram => MRAM_BASE + offset,
+            DispatchStyle::Palcode { base } => base + offset,
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! MRAM: the RAM collocated with the instruction fetch unit.
+//!
+//! "Critically, Metal stores mroutines in a RAM collocated with the
+//! processor's instruction fetch unit to offer microcode level overhead.
+//! … The RAM partitions code and data into separate segments, which hold
+//! mroutines and mroutine private data. Accesses to the RAM do not alter
+//! processor caches." (paper §2)
+//!
+//! MRAM code occupies the physical-address window starting at
+//! [`MRAM_BASE`]; fetches from that window are served by the Metal fetch
+//! hook in one cycle and never touch the I-cache. The data segment is a
+//! separate little address space reachable only through `mld`/`mst`.
+
+use crate::MetalError;
+use metal_isa::metal::MAX_MROUTINES;
+
+/// Base address of the MRAM code window. mroutine PCs live here.
+pub const MRAM_BASE: u32 = 0xFFF0_0000;
+
+/// Geometry of the MRAM.
+#[derive(Clone, Copy, Debug)]
+pub struct MramConfig {
+    /// Code segment size in bytes.
+    pub code_bytes: u32,
+    /// Data segment size in bytes.
+    pub data_bytes: u32,
+    /// Fetch latency from MRAM in cycles (1 = collocated, the design
+    /// point; larger values ablate the collocation claim).
+    pub fetch_latency: u32,
+}
+
+impl Default for MramConfig {
+    fn default() -> MramConfig {
+        MramConfig {
+            code_bytes: 16 * 1024,
+            data_bytes: 4 * 1024,
+            fetch_latency: 1,
+        }
+    }
+}
+
+/// One installed mroutine.
+#[derive(Clone, Debug)]
+pub struct MroutineInfo {
+    /// Entry number (0..64).
+    pub entry: u8,
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Byte offset of the first instruction in the code segment.
+    pub offset: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// The MRAM: code segment, data segment, and the 64-entry table.
+#[derive(Clone, Debug)]
+pub struct Mram {
+    config: MramConfig,
+    code: Vec<u32>,
+    data: Vec<u8>,
+    entries: Vec<Option<MroutineInfo>>,
+    next_offset: u32,
+}
+
+impl Mram {
+    /// Creates an empty MRAM.
+    #[must_use]
+    pub fn new(config: MramConfig) -> Mram {
+        Mram {
+            code: vec![0; (config.code_bytes / 4) as usize],
+            data: vec![0; config.data_bytes as usize],
+            entries: vec![None; MAX_MROUTINES],
+            next_offset: 0,
+            config,
+        }
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn config(&self) -> MramConfig {
+        self.config
+    }
+
+    /// Installs an mroutine's code at the next free offset and binds it
+    /// to `entry`. Returns the mroutine's PC.
+    pub fn install(
+        &mut self,
+        entry: u8,
+        name: &str,
+        words: &[u32],
+    ) -> Result<u32, MetalError> {
+        if usize::from(entry) >= MAX_MROUTINES {
+            return Err(MetalError::BadEntry { entry });
+        }
+        if self.entries[usize::from(entry)].is_some() {
+            return Err(MetalError::EntryInUse { entry });
+        }
+        let len = (words.len() * 4) as u32;
+        if self.next_offset + len > self.config.code_bytes {
+            return Err(MetalError::CodeOverflow {
+                needed: self.next_offset + len,
+                capacity: self.config.code_bytes,
+            });
+        }
+        let offset = self.next_offset;
+        let word_base = (offset / 4) as usize;
+        self.code[word_base..word_base + words.len()].copy_from_slice(words);
+        self.next_offset += len;
+        self.entries[usize::from(entry)] = Some(MroutineInfo {
+            entry,
+            name: name.to_owned(),
+            offset,
+            len,
+        });
+        Ok(MRAM_BASE + offset)
+    }
+
+    /// Looks up an entry; `None` if unbound.
+    #[must_use]
+    pub fn entry(&self, entry: u8) -> Option<&MroutineInfo> {
+        self.entries.get(usize::from(entry))?.as_ref()
+    }
+
+    /// PC of an entry's first instruction.
+    #[must_use]
+    pub fn entry_pc(&self, entry: u8) -> Option<u32> {
+        self.entry(entry).map(|info| MRAM_BASE + info.offset)
+    }
+
+    /// True if `pc` lies inside the MRAM code window.
+    #[must_use]
+    pub fn contains_pc(&self, pc: u32) -> bool {
+        pc >= MRAM_BASE && pc < MRAM_BASE + self.config.code_bytes
+    }
+
+    /// Reads the code word at an MRAM PC.
+    pub fn code_word(&self, pc: u32) -> Result<u32, MetalError> {
+        if !self.contains_pc(pc) || !pc.is_multiple_of(4) {
+            return Err(MetalError::CodeFetch { pc });
+        }
+        Ok(self.code[((pc - MRAM_BASE) / 4) as usize])
+    }
+
+    /// Fetch latency for MRAM code.
+    #[must_use]
+    pub fn fetch_latency(&self) -> u32 {
+        self.config.fetch_latency
+    }
+
+    /// Loads a word from the data segment (`mld`).
+    pub fn data_load(&self, addr: u32) -> Result<u32, MetalError> {
+        if !addr.is_multiple_of(4) || addr + 4 > self.config.data_bytes {
+            return Err(MetalError::DataAccess { addr });
+        }
+        let i = addr as usize;
+        Ok(u32::from_le_bytes([
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ]))
+    }
+
+    /// Stores a word to the data segment (`mst`).
+    pub fn data_store(&mut self, addr: u32, value: u32) -> Result<(), MetalError> {
+        if !addr.is_multiple_of(4) || addr + 4 > self.config.data_bytes {
+            return Err(MetalError::DataAccess { addr });
+        }
+        let i = addr as usize;
+        self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Host-side view of the data segment (for tests and loaders that
+    /// pre-initialize mroutine private data).
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Host-side mutable view of the data segment.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Bytes of code segment still free.
+    #[must_use]
+    pub fn code_free(&self) -> u32 {
+        self.config.code_bytes - self.next_offset
+    }
+
+    /// Iterates over installed mroutines.
+    pub fn routines(&self) -> impl Iterator<Item = &MroutineInfo> {
+        self.entries.iter().filter_map(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_fetch() {
+        let mut mram = Mram::new(MramConfig::default());
+        let pc = mram.install(3, "demo", &[0x11, 0x22, 0x33]).unwrap();
+        assert_eq!(pc, MRAM_BASE);
+        assert_eq!(mram.entry_pc(3), Some(MRAM_BASE));
+        assert_eq!(mram.code_word(pc), Ok(0x11));
+        assert_eq!(mram.code_word(pc + 8), Ok(0x33));
+        assert!(mram.contains_pc(pc + 8));
+        // Second routine goes after the first.
+        let pc2 = mram.install(4, "demo2", &[0xAA]).unwrap();
+        assert_eq!(pc2, MRAM_BASE + 12);
+        assert_eq!(mram.code_word(pc2), Ok(0xAA));
+    }
+
+    #[test]
+    fn entry_bounds_and_duplicates() {
+        let mut mram = Mram::new(MramConfig::default());
+        assert!(matches!(
+            mram.install(64, "x", &[0]),
+            Err(MetalError::BadEntry { entry: 64 })
+        ));
+        mram.install(5, "a", &[0]).unwrap();
+        assert!(matches!(
+            mram.install(5, "b", &[0]),
+            Err(MetalError::EntryInUse { entry: 5 })
+        ));
+    }
+
+    #[test]
+    fn code_overflow_detected() {
+        let mut mram = Mram::new(MramConfig {
+            code_bytes: 16,
+            data_bytes: 16,
+            fetch_latency: 1,
+        });
+        mram.install(0, "a", &[0; 3]).unwrap();
+        assert!(matches!(
+            mram.install(1, "b", &[0; 2]),
+            Err(MetalError::CodeOverflow { .. })
+        ));
+        // Exactly filling works.
+        mram.install(1, "b", &[0]).unwrap();
+        assert_eq!(mram.code_free(), 0);
+    }
+
+    #[test]
+    fn data_segment_roundtrip() {
+        let mut mram = Mram::new(MramConfig::default());
+        mram.data_store(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mram.data_load(8), Ok(0xDEAD_BEEF));
+        assert!(mram.data_load(2).is_err(), "misaligned");
+        let last = MramConfig::default().data_bytes - 4;
+        mram.data_store(last, 1).unwrap();
+        assert!(mram.data_store(last + 4, 1).is_err(), "out of bounds");
+    }
+
+    #[test]
+    fn code_fetch_bounds() {
+        let mram = Mram::new(MramConfig::default());
+        assert!(mram.code_word(MRAM_BASE - 4).is_err());
+        assert!(mram.code_word(MRAM_BASE + 2).is_err());
+        assert!(mram
+            .code_word(MRAM_BASE + MramConfig::default().code_bytes)
+            .is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Static verification of mroutines.
+//!
+//! "Static allocation and non-interruptibility improve performance,
+//! security and reliability by eliminating potential resource exhaustion
+//! and simplifying mroutine verification." (paper §2.1) The loader
+//! verifies every mroutine before installing it:
+//!
+//! * no environment instructions (`ecall`, `mret`, `wfi`) — mroutines
+//!   *are* the environment;
+//! * direct control flow stays inside the mroutine code window
+//!   (`jal`/branches may target shared MRAM helpers but never leave the
+//!   window);
+//! * nested `menter` only when the layered configuration allows it;
+//! * warnings for `jalr` (targets cannot be checked statically) and for
+//!   missing `mexit` reachability.
+
+use metal_isa::insn::Insn;
+use metal_isa::metal::MENTER_INDIRECT;
+use metal_isa::{decode, INSN_BYTES};
+
+/// Severity of a verification finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Installation is refused.
+    Error,
+    /// Installation proceeds; the finding is reported.
+    Warning,
+}
+
+/// One verification finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Issue {
+    /// Severity.
+    pub severity: Severity,
+    /// Byte offset of the offending instruction within the routine.
+    pub offset: u32,
+    /// Description.
+    pub message: String,
+}
+
+/// What the verifier needs to know about the installation context.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyContext {
+    /// Base PC the routine will run at.
+    pub base_pc: u32,
+    /// Start of the MRAM code window.
+    pub window_start: u32,
+    /// End (exclusive) of the MRAM code window.
+    pub window_end: u32,
+    /// Whether nested `menter` from Metal mode is legal (layers > 1).
+    pub nested_allowed: bool,
+}
+
+/// Verifies an assembled mroutine. Returns all findings; installation
+/// should be refused if any has [`Severity::Error`].
+#[must_use]
+pub fn verify_routine(words: &[u32], ctx: &VerifyContext) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let mut saw_exit_path = false;
+    for (i, &word) in words.iter().enumerate() {
+        let offset = i as u32 * INSN_BYTES;
+        let pc = ctx.base_pc + offset;
+        let insn = match decode(word) {
+            Ok(insn) => insn,
+            Err(_) => {
+                issues.push(Issue {
+                    severity: Severity::Error,
+                    offset,
+                    message: format!("illegal instruction word {word:#010x}"),
+                });
+                continue;
+            }
+        };
+        match insn {
+            Insn::Ecall | Insn::Mret | Insn::Wfi => {
+                issues.push(Issue {
+                    severity: Severity::Error,
+                    offset,
+                    message: format!(
+                        "environment instruction {:?} is not allowed in an mroutine",
+                        insn
+                    ),
+                });
+            }
+            Insn::Menter { entry, .. } => {
+                if !ctx.nested_allowed {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        offset,
+                        message: "nested menter requires a layered (nested Metal) configuration"
+                            .to_owned(),
+                    });
+                } else if entry == MENTER_INDIRECT {
+                    issues.push(Issue {
+                        severity: Severity::Warning,
+                        offset,
+                        message: "indirect nested menter cannot be checked statically".to_owned(),
+                    });
+                }
+            }
+            Insn::Mexit => {
+                saw_exit_path = true;
+            }
+            Insn::Jal { offset: joff, .. } => {
+                let target = pc.wrapping_add(joff as u32);
+                if target < ctx.window_start || target >= ctx.window_end {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        offset,
+                        message: format!(
+                            "jal target {target:#010x} leaves the mroutine code window"
+                        ),
+                    });
+                }
+            }
+            Insn::Branch { offset: boff, .. } => {
+                let target = pc.wrapping_add(boff as u32);
+                if target < ctx.window_start || target >= ctx.window_end {
+                    issues.push(Issue {
+                        severity: Severity::Error,
+                        offset,
+                        message: format!(
+                            "branch target {target:#010x} leaves the mroutine code window"
+                        ),
+                    });
+                }
+            }
+            Insn::Jalr { .. } => {
+                issues.push(Issue {
+                    severity: Severity::Warning,
+                    offset,
+                    message: "jalr target cannot be checked statically".to_owned(),
+                });
+                saw_exit_path = true; // may be a computed return
+            }
+            Insn::Ebreak => {
+                issues.push(Issue {
+                    severity: Severity::Warning,
+                    offset,
+                    message: "ebreak halts the machine; debug use only".to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+    if !saw_exit_path && !words.is_empty() {
+        issues.push(Issue {
+            severity: Severity::Warning,
+            offset: 0,
+            message: "no mexit (or computed jump) found: the mroutine never returns".to_owned(),
+        });
+    }
+    issues
+}
+
+/// True if any finding is an error.
+#[must_use]
+pub fn has_errors(issues: &[Issue]) -> bool {
+    issues.iter().any(|i| i.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_asm::assemble_at;
+
+    fn ctx(base: u32) -> VerifyContext {
+        VerifyContext {
+            base_pc: base,
+            window_start: base & !0xFFFF,
+            window_end: (base & !0xFFFF) + 0x4000,
+            nested_allowed: false,
+        }
+    }
+
+    fn verify_src(src: &str) -> Vec<Issue> {
+        let base = 0xFFF0_0100;
+        let words = assemble_at(src, base).unwrap();
+        verify_routine(&words, &ctx(base))
+    }
+
+    #[test]
+    fn clean_routine_passes() {
+        let issues = verify_src("rmr t0, m0\n addi t0, t0, 1\n wmr m0, t0\n mexit");
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn ecall_rejected() {
+        let issues = verify_src("ecall\n mexit");
+        assert!(has_errors(&issues));
+        assert!(issues[0].message.contains("environment instruction"));
+    }
+
+    #[test]
+    fn escaping_branch_rejected() {
+        // A jal that targets normal memory (outside the MRAM window).
+        let base = 0xFFF0_0100u32;
+        let words = assemble_at("jal zero, . - 0x200\n mexit", base).unwrap();
+        let issues = verify_routine(&words, &ctx(base));
+        assert!(has_errors(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn internal_loop_allowed() {
+        let issues = verify_src("li t0, 4\nloop: addi t0, t0, -1\n bnez t0, loop\n mexit");
+        assert!(!has_errors(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn missing_mexit_warns() {
+        let issues = verify_src("addi t0, t0, 1");
+        assert!(!has_errors(&issues));
+        assert!(issues.iter().any(|i| i.message.contains("never returns")));
+    }
+
+    #[test]
+    fn nested_menter_gated() {
+        let base = 0xFFF0_0100;
+        let words = assemble_at("menter 5\n mexit", base).unwrap();
+        let mut context = ctx(base);
+        let issues = verify_routine(&words, &context);
+        assert!(has_errors(&issues));
+        context.nested_allowed = true;
+        let issues = verify_routine(&words, &context);
+        assert!(!has_errors(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn illegal_word_rejected() {
+        let issues = verify_routine(&[0xFFFF_FFFF], &ctx(0xFFF0_0000));
+        assert!(has_errors(&issues));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the mroutine static verifier: it must accept
+//! exactly the programs its rules allow, on arbitrary instruction mixes.
+
+use metal_core::mram::MRAM_BASE;
+use metal_core::verify::{has_errors, verify_routine, Severity, VerifyContext};
+use metal_isa::insn::{AluOp, Cond, Insn};
+use metal_isa::reg::Reg;
+use metal_isa::{decode, encode};
+use proptest::prelude::*;
+
+const WINDOW: u32 = 0x4000;
+
+fn ctx(nested: bool) -> VerifyContext {
+    VerifyContext {
+        base_pc: MRAM_BASE,
+        window_start: MRAM_BASE,
+        window_end: MRAM_BASE + WINDOW,
+        nested_allowed: nested,
+    }
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+/// Instructions the verifier must always accept.
+fn arb_benign(len: usize) -> impl Strategy<Value = Vec<u32>> {
+    let insn = prop_oneof![
+        (arb_reg(), arb_reg(), -512i32..512).prop_map(|(rd, rs1, imm)| Insn::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), 0u16..32).prop_map(|(rd, n)| Insn::Rmr {
+            rd,
+            idx: metal_isa::MregIdx::mreg(n as u8).unwrap()
+        }),
+        (arb_reg(), arb_reg(), -64i32..64)
+            .prop_map(|(rd, rs1, off)| Insn::Mld { rd, rs1, offset: off & !3 }),
+        Just(Insn::Fence),
+    ];
+    proptest::collection::vec(insn.prop_map(|i| encode(&i)), len..len + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Benign bodies terminated by mexit verify cleanly (no errors).
+    #[test]
+    fn benign_routines_accepted(mut words in arb_benign(12)) {
+        words.push(encode(&Insn::Mexit));
+        let issues = verify_routine(&words, &ctx(false));
+        prop_assert!(!has_errors(&issues), "{issues:?}");
+    }
+
+    /// Inserting any environment instruction anywhere is an error.
+    #[test]
+    fn environment_instructions_rejected(
+        mut words in arb_benign(8),
+        pos in 0usize..8,
+        which in 0usize..3,
+    ) {
+        let bad = [Insn::Ecall, Insn::Mret, Insn::Wfi][which];
+        words.insert(pos, encode(&bad));
+        words.push(encode(&Insn::Mexit));
+        let issues = verify_routine(&words, &ctx(false));
+        prop_assert!(has_errors(&issues));
+        // The error points at the exact offending offset.
+        prop_assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Error && i.offset == (pos as u32) * 4));
+    }
+
+    /// In-window branches are fine; any branch that escapes the MRAM
+    /// window is an error, wherever it sits.
+    #[test]
+    fn branch_window_enforced(len in 2usize..16, at in 0usize..16, escape in proptest::bool::ANY) {
+        let at = at % len;
+        let mut words: Vec<u32> = (0..len).map(|_| encode(&Insn::NOP)).collect();
+        let offset = if escape {
+            // Below the window start (the routine sits at its base), and
+            // within the B-format's 13-bit range.
+            -4096i32
+        } else {
+            // To the start of the routine: always inside.
+            -((at as i32) * 4)
+        };
+        words[at] = encode(&Insn::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A0,
+            offset,
+        });
+        words.push(encode(&Insn::Mexit));
+        let issues = verify_routine(&words, &ctx(false));
+        prop_assert_eq!(has_errors(&issues), escape, "{:?}", issues);
+    }
+
+    /// The verifier never panics on arbitrary words and flags illegal
+    /// encodings as errors.
+    #[test]
+    fn total_on_garbage(words in proptest::collection::vec(any::<u32>(), 0..32)) {
+        let issues = verify_routine(&words, &ctx(false));
+        for w in &words {
+            if decode(*w).is_err() {
+                prop_assert!(has_errors(&issues));
+                break;
+            }
+        }
+    }
+
+    /// Nested menter flips from error to accepted when layers permit it.
+    #[test]
+    fn nested_gate(entry in 0u32..64) {
+        let words = vec![
+            encode(&Insn::Menter { rs1: Reg::ZERO, entry }),
+            encode(&Insn::Mexit),
+        ];
+        prop_assert!(has_errors(&verify_routine(&words, &ctx(false))));
+        prop_assert!(!has_errors(&verify_routine(&words, &ctx(true))));
+    }
+}

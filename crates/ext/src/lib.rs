@@ -1,0 +1,74 @@
+//! Architectural extensions built on Metal — the paper's §3 applications.
+//!
+//! Each module packages mcode (mroutine assembly), its entry-number
+//! assignments, and host-side helpers to install and drive it:
+//!
+//! * [`privilege`] — user-defined privilege levels: the `kenter`/`kexit`
+//!   syscall gate of paper Figure 2, plus N-ring generalization (§3.1).
+//! * [`kernel`] — the mini kernel the privilege model protects: syscall
+//!   table, console output, fault handling.
+//! * [`pagetable`] — custom page tables: an x86-style radix walker in
+//!   the page-fault mroutine (§3.2), with trap-based and hardware-walker
+//!   baselines for comparison.
+//! * [`stm`] — software transactional memory via load/store
+//!   interception, closely following TL2 (§3.3).
+//! * [`uintr`] — user-level interrupts: delegated device interrupts
+//!   redirected to a userspace handler without kernel involvement
+//!   (§3.4).
+//! * [`isolation`] — in-process isolation with page keys: protecting a
+//!   secret without CFI (§3.1).
+//! * [`shadowstack`] — control-flow protection by intercepting
+//!   calls/returns (§3.5).
+//! * [`capability`] — a toy hardware-capability model in mroutines
+//!   (§3.5).
+//! * [`enclave`] — a minimal security-enclave loader: a trusted
+//!   execution layer above the OS (§3.5).
+//! * [`vmm`] — a trap-and-emulate virtualization sketch on the lowest
+//!   nested layer (§3.5).
+//! * [`sched`] — a preemptive multi-process scheduler: timer-delegated
+//!   context switch plus ASID-tagged address spaces.
+//!
+//! Entry-number map (the MRAM entry table has 64 slots, paper §2):
+//!
+//! | entries | owner |
+//! |---------|-------|
+//! | 0..8    | privilege + kernel |
+//! | 8..12   | pagetable |
+//! | 12..20  | stm |
+//! | 20..24  | uintr |
+//! | 24..28  | isolation |
+//! | 28..32  | shadowstack |
+//! | 32..40  | capability |
+//! | 40..44  | enclave |
+//! | 44..47  | sched |
+//! | 48..51  | vmm |
+//!
+//! MRAM **data-segment** map (4 KiB, kit-partitioned):
+//!
+//! | bytes      | owner |
+//! |------------|-------|
+//! | 0..64      | privilege (violation handler, ring gates) |
+//! | 64..128    | pagetable (root, OS handler) |
+//! | 128..192   | uintr |
+//! | 192..256   | isolation |
+//! | 256..320   | enclave |
+//! | 320..608   | capability (handler, count, 16-slot table) |
+//! | 608..896   | shadowstack (handler, SP, 64 slots) |
+//! | 896..1024  | sched (bounce slots, current pid, quantum) |
+//! | 3200..3264 | vmm (shadow mtvec, fault handler) |
+//! | 1024..3200 | stm (clock, lock-table base, 4 contexts) |
+
+pub mod capability;
+pub mod enclave;
+pub mod isolation;
+pub mod kernel;
+pub mod machine;
+pub mod pagetable;
+pub mod privilege;
+pub mod sched;
+pub mod shadowstack;
+pub mod stm;
+pub mod uintr;
+pub mod vmm;
+
+pub use machine::{assemble_guest, run_guest, GuestBinary};

@@ -1,0 +1,165 @@
+//! Cost arithmetic and the component hierarchy.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul};
+
+/// Synthesis cost of a block: standard cells and wires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct Cost {
+    /// Standard-cell count (NAND2-equivalent mapping).
+    pub cells: u64,
+    /// Wire count (driven nets).
+    pub wires: u64,
+}
+
+impl Cost {
+    /// A cost literal.
+    #[must_use]
+    pub const fn new(cells: u64, wires: u64) -> Cost {
+        Cost { cells, wires }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            cells: self.cells + rhs.cells,
+            wires: self.wires + rhs.wires,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: u64) -> Cost {
+        Cost {
+            cells: self.cells * rhs,
+            wires: self.wires * rhs,
+        }
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::default(), Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cells / {} wires", self.cells, self.wires)
+    }
+}
+
+/// A named block in the design hierarchy.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Instance name.
+    pub name: String,
+    /// Cost of this block's own logic (excluding children).
+    pub local: Cost,
+    /// Sub-blocks.
+    pub children: Vec<Component>,
+}
+
+impl Component {
+    /// A leaf block.
+    #[must_use]
+    pub fn leaf(name: &str, cost: Cost) -> Component {
+        Component {
+            name: name.to_owned(),
+            local: cost,
+            children: Vec::new(),
+        }
+    }
+
+    /// A hierarchical block.
+    #[must_use]
+    pub fn node(name: &str, children: Vec<Component>) -> Component {
+        Component {
+            name: name.to_owned(),
+            local: Cost::default(),
+            children,
+        }
+    }
+
+    /// Total cost including children.
+    #[must_use]
+    pub fn total(&self) -> Cost {
+        self.local + self.children.iter().map(Component::total).sum()
+    }
+
+    /// A per-block breakdown, indented by depth.
+    #[must_use]
+    pub fn tree_report(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        use core::fmt::Write as _;
+        let total = self.total();
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<28} {:>9} cells {:>9} wires",
+            "",
+            self.name,
+            total.cells,
+            total.wires,
+            indent = depth * 2
+        );
+        for child in &self.children {
+            child.render(out, depth + 1);
+        }
+    }
+
+    /// Finds a child block by name (depth-first).
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Component> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = Cost::new(10, 12);
+        let b = Cost::new(1, 2);
+        assert_eq!(a + b, Cost::new(11, 14));
+        assert_eq!(b * 3, Cost::new(3, 6));
+        let total: Cost = [a, b, b].into_iter().sum();
+        assert_eq!(total, Cost::new(12, 16));
+    }
+
+    #[test]
+    fn hierarchy_totals() {
+        let tree = Component::node(
+            "top",
+            vec![
+                Component::leaf("a", Cost::new(5, 6)),
+                Component::node("b", vec![Component::leaf("c", Cost::new(2, 1))]),
+            ],
+        );
+        assert_eq!(tree.total(), Cost::new(7, 7));
+        assert!(tree.find("c").is_some());
+        assert!(tree.find("zzz").is_none());
+        let report = tree.tree_report();
+        assert!(report.contains("top"));
+        assert!(report.contains("c"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Block-level composition of the baseline and Metal processors.
+
+use crate::blocks::Component;
+use crate::library as lib;
+
+/// Geometry of the baseline 5-stage core.
+///
+/// The paper does not publish its prototype's cache/TLB geometry; the
+/// [`ProcessorConfig::paper`] values are chosen so the *baseline* cell
+/// count lands at the scale of Table 2 (≈180 k cells) under this cost
+/// model — memories synthesized to flop arrays dominate, exactly as
+/// they would under Yosys with a standard-cell library.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessorConfig {
+    /// Instruction-cache capacity in bytes.
+    pub icache_bytes: u64,
+    /// Data-cache capacity in bytes.
+    pub dcache_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// TLB entries.
+    pub tlb_entries: u64,
+    /// Register width.
+    pub xlen: u64,
+}
+
+impl ProcessorConfig {
+    /// The calibration point for Table 2.
+    #[must_use]
+    pub fn paper() -> ProcessorConfig {
+        ProcessorConfig {
+            icache_bytes: 4096,
+            dcache_bytes: 4096,
+            line_bytes: 32,
+            tlb_entries: 32,
+            xlen: 32,
+        }
+    }
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> ProcessorConfig {
+        ProcessorConfig::paper()
+    }
+}
+
+/// Geometry of the Metal extension hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct MetalHwConfig {
+    /// MRAM code-segment bytes.
+    pub mram_code_bytes: u64,
+    /// MRAM data-segment bytes.
+    pub mram_data_bytes: u64,
+    /// Metal registers.
+    pub mreg_count: u64,
+    /// Entry-table slots.
+    pub entry_slots: u64,
+    /// Interception-table slots.
+    pub intercept_slots: u64,
+}
+
+impl MetalHwConfig {
+    /// The calibration point for Table 2 (the paper does not publish its
+    /// MRAM geometry; this size reproduces its reported overhead).
+    #[must_use]
+    pub fn paper() -> MetalHwConfig {
+        MetalHwConfig {
+            mram_code_bytes: 768,
+            mram_data_bytes: 256,
+            mreg_count: 32,
+            entry_slots: 64,
+            intercept_slots: 8,
+        }
+    }
+}
+
+impl Default for MetalHwConfig {
+    fn default() -> MetalHwConfig {
+        MetalHwConfig::paper()
+    }
+}
+
+fn cache(name: &str, bytes: u64, line_bytes: u64, xlen: u64) -> Component {
+    let lines = bytes / line_bytes;
+    let tag_bits = 32 - (bytes as f64).log2() as u64 + 2; // tag + valid/dirty
+    Component::node(
+        name,
+        vec![
+            Component::leaf("data_array", lib::memory(bytes / 4, 32, 1, 1)),
+            Component::leaf("tag_array", lib::memory(lines, tag_bits, 1, 1)),
+            Component::leaf("tag_compare", lib::comparator(tag_bits)),
+            Component::leaf("refill_control", lib::random_logic(400)),
+            Component::leaf("line_mux", lib::mux(line_bytes / 4, xlen)),
+        ],
+    )
+}
+
+/// The baseline (non-Metal) 5-stage pipelined processor.
+#[must_use]
+pub fn baseline_processor(cfg: &ProcessorConfig) -> Component {
+    let xlen = cfg.xlen;
+    Component::node(
+        "baseline_core",
+        vec![
+            Component::node(
+                "fetch",
+                vec![
+                    Component::leaf("pc", lib::flops(xlen)),
+                    Component::leaf("pc_adder", lib::adder(xlen)),
+                    Component::leaf("redirect_mux", lib::mux(3, xlen)),
+                    Component::leaf("if_id_latch", lib::flops(2 * xlen + 2)),
+                ],
+            ),
+            cache("icache", cfg.icache_bytes, cfg.line_bytes, xlen),
+            Component::node(
+                "decode",
+                vec![
+                    Component::leaf("decoder", lib::random_logic(700)),
+                    Component::leaf("imm_gen", lib::random_logic(220)),
+                    Component::leaf("regfile", lib::memory(32, xlen, 2, 1)),
+                    Component::leaf("hazard_unit", lib::random_logic(180)),
+                    Component::leaf("id_ex_latch", lib::flops(3 * xlen + 40)),
+                ],
+            ),
+            Component::node(
+                "execute",
+                vec![
+                    Component::leaf("alu", lib::alu(xlen)),
+                    Component::leaf("muldiv", lib::muldiv(xlen)),
+                    Component::leaf("forward_mux_a", lib::mux(3, xlen)),
+                    Component::leaf("forward_mux_b", lib::mux(3, xlen)),
+                    Component::leaf("branch_compare", lib::comparator(xlen)),
+                    Component::leaf("ex_mem_latch", lib::flops(3 * xlen + 8)),
+                ],
+            ),
+            Component::node(
+                "memory",
+                vec![
+                    Component::leaf("align", lib::random_logic(320)),
+                    Component::leaf("mem_wb_latch", lib::flops(2 * xlen + 8)),
+                ],
+            ),
+            cache("dcache", cfg.dcache_bytes, cfg.line_bytes, xlen),
+            Component::node(
+                "mmu",
+                vec![
+                    Component::leaf("tlb", lib::cam(cfg.tlb_entries, 28, 24)),
+                    Component::leaf("pkey_regs", lib::flops(16 * 2)),
+                    Component::leaf("walker", lib::random_logic(650)),
+                ],
+            ),
+            Component::node(
+                "system",
+                vec![
+                    Component::leaf("csr_file", lib::flops(7 * xlen)),
+                    Component::leaf("csr_logic", lib::random_logic(450)),
+                    Component::leaf("trap_unit", lib::random_logic(520)),
+                    Component::leaf("interrupt_ctl", lib::random_logic(260)),
+                    Component::leaf("bus_interface", lib::random_logic(800)),
+                ],
+            ),
+        ],
+    )
+}
+
+/// The Metal extension block.
+#[must_use]
+pub fn metal_block(cfg: &MetalHwConfig, xlen: u64) -> Component {
+    // An entry-table slot holds a code offset plus a valid bit; the
+    // offset must address the code segment.
+    let entry_bits = ((cfg.mram_code_bytes as f64).log2().ceil() as u64).max(1) + 1;
+    Component::node(
+        "metal",
+        vec![
+            Component::leaf(
+                "mram_code",
+                lib::memory(cfg.mram_code_bytes / 4, 32, 1, 1),
+            ),
+            Component::leaf(
+                "mram_data",
+                lib::memory(cfg.mram_data_bytes / 4, 32, 1, 1),
+            ),
+            Component::leaf("mreg_file", lib::memory(cfg.mreg_count, xlen, 1, 1)),
+            Component::leaf(
+                "entry_table",
+                lib::memory(cfg.entry_slots, entry_bits, 1, 1),
+            ),
+            Component::leaf(
+                "intercept_table",
+                lib::cam(cfg.intercept_slots, 32, 8),
+            ),
+            Component::leaf("mcr_regs", lib::flops(6 * xlen)),
+            Component::leaf("mode_unit", lib::random_logic(300)),
+            Component::leaf("replace_unit", lib::random_logic(420)),
+            Component::leaf("march_decode", lib::random_logic(360)),
+            Component::leaf("delegate_table", lib::memory(64, 7, 1, 1)),
+            // Cross-stage interconnect: Metal taps instruction fetch
+            // (MRAM mux), decode (replacement path), execute (march
+            // operand buses), and the trap unit — routing-dominated.
+            Component::leaf(
+                "stage_taps",
+                crate::blocks::Cost::new(210, 3100),
+            ),
+        ],
+    )
+}
+
+/// The Metal-enabled processor: the baseline plus the Metal block.
+#[must_use]
+pub fn metal_processor(base: &ProcessorConfig, metal: &MetalHwConfig) -> Component {
+    let mut core = baseline_processor(base);
+    core.name = "metal_core".to_owned();
+    core.children.push(metal_block(metal, base.xlen));
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metal_strictly_adds() {
+        let base = baseline_processor(&ProcessorConfig::paper());
+        let metal = metal_processor(&ProcessorConfig::paper(), &MetalHwConfig::paper());
+        assert!(metal.total().cells > base.total().cells);
+        assert!(metal.total().wires > base.total().wires);
+    }
+
+    #[test]
+    fn bigger_mram_costs_more() {
+        let small = MetalHwConfig {
+            mram_code_bytes: 512,
+            ..MetalHwConfig::paper()
+        };
+        let big = MetalHwConfig {
+            mram_code_bytes: 4096,
+            ..MetalHwConfig::paper()
+        };
+        let cfg = ProcessorConfig::paper();
+        assert!(
+            metal_processor(&cfg, &big).total().cells
+                > metal_processor(&cfg, &small).total().cells
+        );
+    }
+
+    #[test]
+    fn caches_dominate_the_baseline() {
+        let base = baseline_processor(&ProcessorConfig::paper());
+        let icache = base.find("icache").unwrap().total();
+        let dcache = base.find("dcache").unwrap().total();
+        let total = base.total();
+        assert!(
+            (icache.cells + dcache.cells) * 2 > total.cells,
+            "flop-array memories should dominate standard-cell synthesis"
+        );
+    }
+}

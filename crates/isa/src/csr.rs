@@ -1,0 +1,97 @@
+//! CSR addresses used by the *baseline* (non-Metal) processor.
+//!
+//! The baseline core handles traps the conventional way — a trap vector,
+//! cause/EPC registers, and `mret` — which is exactly what Metal replaces
+//! with mroutine delegation. Keeping both lets the benchmarks compare the
+//! two dispatch mechanisms on the same pipeline.
+
+/// Machine status: bit 3 = MIE (global interrupt enable), bit 7 = MPIE.
+pub const MSTATUS: u16 = 0x300;
+/// Trap vector base address.
+pub const MTVEC: u16 = 0x305;
+/// Scratch register for trap handlers.
+pub const MSCRATCH: u16 = 0x340;
+/// Exception program counter.
+pub const MEPC: u16 = 0x341;
+/// Trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// Faulting address / bad instruction value.
+pub const MTVAL: u16 = 0x343;
+/// Interrupt-pending bitmap.
+pub const MIP: u16 = 0x344;
+/// Interrupt-enable bitmap.
+pub const MIE: u16 = 0x304;
+/// Cycle counter, low word (read-only).
+pub const CYCLE: u16 = 0xC00;
+/// Instructions-retired counter, low word (read-only).
+pub const INSTRET: u16 = 0xC02;
+/// Cycle counter, high word (read-only).
+pub const CYCLEH: u16 = 0xC80;
+/// Instructions-retired counter, high word (read-only).
+pub const INSTRETH: u16 = 0xC82;
+
+/// `mstatus` bit: machine interrupt enable.
+pub const MSTATUS_MIE: u32 = 1 << 3;
+/// `mstatus` bit: previous interrupt enable (stacked by traps).
+pub const MSTATUS_MPIE: u32 = 1 << 7;
+
+/// Bit set in `mcause` for interrupts (as opposed to exceptions).
+pub const CAUSE_INTERRUPT_BIT: u32 = 1 << 31;
+
+/// Returns the symbolic name of a CSR address, if known.
+#[must_use]
+pub fn name(csr: u16) -> Option<&'static str> {
+    Some(match csr {
+        MSTATUS => "mstatus",
+        MTVEC => "mtvec",
+        MSCRATCH => "mscratch",
+        MEPC => "mepc",
+        MCAUSE => "mcause",
+        MTVAL => "mtval",
+        MIP => "mip",
+        MIE => "mie",
+        CYCLE => "cycle",
+        INSTRET => "instret",
+        CYCLEH => "cycleh",
+        INSTRETH => "instreth",
+        _ => return None,
+    })
+}
+
+/// Parses a symbolic CSR name.
+#[must_use]
+pub fn parse(s: &str) -> Option<u16> {
+    Some(match s {
+        "mstatus" => MSTATUS,
+        "mtvec" => MTVEC,
+        "mscratch" => MSCRATCH,
+        "mepc" => MEPC,
+        "mcause" => MCAUSE,
+        "mtval" => MTVAL,
+        "mip" => MIP,
+        "mie" => MIE,
+        "cycle" => CYCLE,
+        "instret" => INSTRET,
+        "cycleh" => CYCLEH,
+        "instreth" => INSTRETH,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for csr in [
+            MSTATUS, MTVEC, MSCRATCH, MEPC, MCAUSE, MTVAL, MIP, MIE, CYCLE, INSTRET, CYCLEH,
+            INSTRETH,
+        ] {
+            let n = name(csr).expect("known CSR has a name");
+            assert_eq!(parse(n), Some(csr));
+        }
+        assert_eq!(name(0x123), None);
+        assert_eq!(parse("nope"), None);
+    }
+}

@@ -1,0 +1,407 @@
+//! Instruction decoding: 32-bit instruction word → [`Insn`].
+
+use crate::encode::{branch_offset, jal_offset, opcodes};
+use crate::insn::{AluOp, Cond, CsrOp, CsrSrc, Insn, LoadOp, MulOp, StoreOp};
+use crate::metal::{MarchOp, MetalOpcode, METAL_OPCODE};
+use crate::reg::{MregIdx, Reg};
+use crate::sign_extend;
+use core::fmt;
+
+/// A word with no legal decoding. The processor raises an
+/// illegal-instruction exception when it fetches one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    (word >> 25) & 0x7F
+}
+
+#[inline]
+fn imm_i(word: u32) -> i32 {
+    sign_extend(word >> 20, 12)
+}
+
+#[inline]
+fn imm_s(word: u32) -> i32 {
+    sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+}
+
+/// Decodes an instruction word.
+///
+/// Returns [`DecodeError`] for any word with no legal decoding; the
+/// pipeline converts that into an illegal-instruction exception.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opcode = word & 0x7F;
+    match opcode {
+        opcodes::LUI => Ok(Insn::Lui {
+            rd: rd(word),
+            imm20: word >> 12,
+        }),
+        opcodes::AUIPC => Ok(Insn::Auipc {
+            rd: rd(word),
+            imm20: word >> 12,
+        }),
+        opcodes::JAL => Ok(Insn::Jal {
+            rd: rd(word),
+            offset: jal_offset(word),
+        }),
+        opcodes::JALR => {
+            if funct3(word) != 0 {
+                return err;
+            }
+            Ok(Insn::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        opcodes::BRANCH => {
+            let Some(cond) = Cond::from_funct3(funct3(word)) else {
+                return err;
+            };
+            Ok(Insn::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: branch_offset(word),
+            })
+        }
+        opcodes::LOAD => {
+            let Some(op) = LoadOp::from_funct3(funct3(word)) else {
+                return err;
+            };
+            Ok(Insn::Load {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            })
+        }
+        opcodes::STORE => {
+            let Some(op) = StoreOp::from_funct3(funct3(word)) else {
+                return err;
+            };
+            Ok(Insn::Store {
+                op,
+                rs2: rs2(word),
+                rs1: rs1(word),
+                offset: imm_s(word),
+            })
+        }
+        opcodes::OP_IMM => {
+            let f3 = funct3(word);
+            let op = match f3 {
+                0b000 => AluOp::Add,
+                0b001 => {
+                    if funct7(word) != 0 {
+                        return err;
+                    }
+                    AluOp::Sll
+                }
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 => match funct7(word) {
+                    0x00 => AluOp::Srl,
+                    0x20 => AluOp::Sra,
+                    _ => return err,
+                },
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => ((word >> 20) & 0x1F) as i32,
+                _ => imm_i(word),
+            };
+            Ok(Insn::AluImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            })
+        }
+        opcodes::OP => {
+            let f3 = funct3(word);
+            match funct7(word) {
+                0x00 => {
+                    let op = match f3 {
+                        0b000 => AluOp::Add,
+                        0b001 => AluOp::Sll,
+                        0b010 => AluOp::Slt,
+                        0b011 => AluOp::Sltu,
+                        0b100 => AluOp::Xor,
+                        0b101 => AluOp::Srl,
+                        0b110 => AluOp::Or,
+                        0b111 => AluOp::And,
+                        _ => unreachable!("funct3 is 3 bits"),
+                    };
+                    Ok(Insn::Alu {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        rs2: rs2(word),
+                    })
+                }
+                0x20 => {
+                    let op = match f3 {
+                        0b000 => AluOp::Sub,
+                        0b101 => AluOp::Sra,
+                        _ => return err,
+                    };
+                    Ok(Insn::Alu {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        rs2: rs2(word),
+                    })
+                }
+                0x01 => {
+                    let Some(op) = MulOp::from_funct3(f3) else {
+                        return err;
+                    };
+                    Ok(Insn::MulDiv {
+                        op,
+                        rd: rd(word),
+                        rs1: rs1(word),
+                        rs2: rs2(word),
+                    })
+                }
+                _ => err,
+            }
+        }
+        opcodes::MISC_MEM => {
+            if funct3(word) == 0 {
+                Ok(Insn::Fence)
+            } else {
+                err
+            }
+        }
+        opcodes::SYSTEM => {
+            let f3 = funct3(word);
+            match f3 {
+                0b000 => {
+                    if rd(word) != Reg::ZERO || rs1(word) != Reg::ZERO {
+                        return err;
+                    }
+                    match word >> 20 {
+                        0x000 => Ok(Insn::Ecall),
+                        0x001 => Ok(Insn::Ebreak),
+                        0x302 => Ok(Insn::Mret),
+                        0x105 => Ok(Insn::Wfi),
+                        _ => err,
+                    }
+                }
+                0b001..=0b011 => {
+                    let op = match f3 {
+                        0b001 => CsrOp::Rw,
+                        0b010 => CsrOp::Rs,
+                        _ => CsrOp::Rc,
+                    };
+                    Ok(Insn::Csr {
+                        op,
+                        rd: rd(word),
+                        csr: (word >> 20) as u16,
+                        src: CsrSrc::Reg(rs1(word)),
+                    })
+                }
+                0b101..=0b111 => {
+                    let op = match f3 {
+                        0b101 => CsrOp::Rw,
+                        0b110 => CsrOp::Rs,
+                        _ => CsrOp::Rc,
+                    };
+                    Ok(Insn::Csr {
+                        op,
+                        rd: rd(word),
+                        csr: (word >> 20) as u16,
+                        src: CsrSrc::Imm(((word >> 15) & 0x1F) as u8),
+                    })
+                }
+                _ => err,
+            }
+        }
+        METAL_OPCODE => {
+            let Some(mop) = MetalOpcode::from_funct3(funct3(word)) else {
+                return err;
+            };
+            match mop {
+                MetalOpcode::Menter => {
+                    let entry = word >> 20;
+                    if entry != crate::metal::MENTER_INDIRECT
+                        && entry as usize >= crate::metal::MAX_MROUTINES
+                    {
+                        return err;
+                    }
+                    // rs1 only matters for the indirect form; canonicalize
+                    // it away otherwise (hardware ignores the field).
+                    let rs1 = if entry == crate::metal::MENTER_INDIRECT {
+                        rs1(word)
+                    } else {
+                        Reg::ZERO
+                    };
+                    Ok(Insn::Menter { rs1, entry })
+                }
+                MetalOpcode::Mexit => Ok(Insn::Mexit),
+                MetalOpcode::Rmr => Ok(Insn::Rmr {
+                    rd: rd(word),
+                    idx: MregIdx::from_field(word >> 20),
+                }),
+                MetalOpcode::Wmr => Ok(Insn::Wmr {
+                    rs1: rs1(word),
+                    idx: MregIdx::from_field(word >> 20),
+                }),
+                MetalOpcode::Mld => Ok(Insn::Mld {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: imm_i(word),
+                }),
+                MetalOpcode::Mst => Ok(Insn::Mst {
+                    rs2: rs2(word),
+                    rs1: rs1(word),
+                    offset: imm_s(word),
+                }),
+                MetalOpcode::March => {
+                    let Some(op) = MarchOp::from_funct7(funct7(word)) else {
+                        return err;
+                    };
+                    // Canonicalize: zero the register fields this sub-op
+                    // ignores, so decode -> encode is idempotent and the
+                    // disassembly (which omits unused operands) re-parses
+                    // to the same word.
+                    let has_rd = matches!(op, MarchOp::Mpld | MarchOp::Mtlbp | MarchOp::Mipend);
+                    let has_rs1 = !matches!(op, MarchOp::Mipend | MarchOp::Mtlbiall);
+                    let has_rs2 = matches!(
+                        op,
+                        MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept
+                    );
+                    Ok(Insn::March {
+                        op,
+                        rd: if has_rd { rd(word) } else { Reg::ZERO },
+                        rs1: if has_rs1 { rs1(word) } else { Reg::ZERO },
+                        rs2: if has_rs2 { rs2(word) } else { Reg::ZERO },
+                    })
+                }
+            }
+        }
+        _ => err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x02A0_0513),
+            Ok(Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 42
+            })
+        );
+        assert_eq!(decode(0x0000_0073), Ok(Insn::Ecall));
+        assert_eq!(decode(0x3020_0073), Ok(Insn::Mret));
+        assert_eq!(
+            decode(0x0000_0013),
+            Ok(Insn::NOP),
+            "canonical nop decodes to Insn::NOP"
+        );
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        assert!(decode(0x0000_0000).is_err(), "all-zero word is illegal");
+        assert!(decode(0xFFFF_FFFF).is_err(), "all-ones word is illegal");
+        // BRANCH with funct3 = 010 (undefined condition).
+        assert!(decode(0x0000_2063).is_err());
+        // Metal funct3 = 111 is reserved.
+        assert!(decode(0x0000_700B).is_err());
+    }
+
+    #[test]
+    fn metal_roundtrip() {
+        let insns = [
+            Insn::Menter {
+                rs1: Reg::ZERO,
+                entry: 5,
+            },
+            Insn::Menter {
+                rs1: Reg::A0,
+                entry: crate::metal::MENTER_INDIRECT,
+            },
+            Insn::Mexit,
+            Insn::Rmr {
+                rd: Reg::A0,
+                idx: MregIdx::mreg(31).unwrap(),
+            },
+            Insn::Wmr {
+                rs1: Reg::A0,
+                idx: crate::metal::Mcr::Mcause.index(),
+            },
+            Insn::Mld {
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                offset: -8,
+            },
+            Insn::Mst {
+                rs2: Reg::T0,
+                rs1: Reg::T1,
+                offset: 12,
+            },
+            Insn::March {
+                op: MarchOp::Mtlbw,
+                rd: Reg::ZERO,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+        ];
+        for insn in insns {
+            assert_eq!(decode(encode(&insn)), Ok(insn), "{insn:?}");
+        }
+    }
+
+    #[test]
+    fn shift_immediate_upper_bits_checked() {
+        // slli with funct7 = 0x20 is illegal.
+        let bad = 0x4000_1013 | (1 << 20);
+        assert!(decode(bad).is_err());
+    }
+}

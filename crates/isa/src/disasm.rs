@@ -1,0 +1,147 @@
+//! Disassembler: [`Insn`] → assembler text.
+//!
+//! The output is re-parseable by `metal-asm`, which the round-trip
+//! property tests rely on: `parse(disassemble(i)) == i` for every
+//! decodable instruction.
+
+use crate::insn::{AluOp, CsrOp, CsrSrc, Insn};
+use crate::metal::{MarchOp, MENTER_INDIRECT};
+
+/// Renders one instruction as assembler text (no label resolution:
+/// branch/jump targets appear as numeric byte offsets like `beq a0, a1, .+8`).
+#[must_use]
+pub fn disassemble(insn: &Insn) -> String {
+    match *insn {
+        Insn::Lui { rd, imm20 } => format!("lui {rd}, {imm20:#x}"),
+        Insn::Auipc { rd, imm20 } => format!("auipc {rd}, {imm20:#x}"),
+        Insn::Jal { rd, offset } => format!("jal {rd}, .{offset:+}"),
+        Insn::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        Insn::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => format!("{} {rs1}, {rs2}, .{offset:+}", cond.mnemonic()),
+        Insn::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => format!("{} {rd}, {offset}({rs1})", op.mnemonic()),
+        Insn::Store {
+            op,
+            rs2,
+            rs1,
+            offset,
+        } => format!("{} {rs2}, {offset}({rs1})", op.mnemonic()),
+        Insn::AluImm { op, rd, rs1, imm } => {
+            let mn = match op {
+                AluOp::Add => "addi",
+                AluOp::Sll => "slli",
+                AluOp::Slt => "slti",
+                AluOp::Sltu => "sltiu",
+                AluOp::Xor => "xori",
+                AluOp::Srl => "srli",
+                AluOp::Sra => "srai",
+                AluOp::Or => "ori",
+                AluOp::And => "andi",
+                AluOp::Sub => "subi?",
+            };
+            format!("{mn} {rd}, {rs1}, {imm}")
+        }
+        Insn::Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        Insn::MulDiv { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        Insn::Csr { op, rd, csr, src } => {
+            let base = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+            };
+            let csr_txt = crate::csr::name(csr)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{csr:#x}"));
+            match src {
+                CsrSrc::Reg(rs1) => format!("{base} {rd}, {csr_txt}, {rs1}"),
+                CsrSrc::Imm(imm) => format!("{base}i {rd}, {csr_txt}, {imm}"),
+            }
+        }
+        Insn::Ecall => "ecall".to_owned(),
+        Insn::Ebreak => "ebreak".to_owned(),
+        Insn::Mret => "mret".to_owned(),
+        Insn::Wfi => "wfi".to_owned(),
+        Insn::Fence => "fence".to_owned(),
+        Insn::Menter { rs1, entry } => {
+            if entry == MENTER_INDIRECT {
+                format!("menter {rs1}")
+            } else {
+                format!("menter {entry}")
+            }
+        }
+        Insn::Mexit => "mexit".to_owned(),
+        Insn::Rmr { rd, idx } => format!("rmr {rd}, {idx}"),
+        Insn::Wmr { rs1, idx } => format!("wmr {idx}, {rs1}"),
+        Insn::Mld { rd, rs1, offset } => format!("mld {rd}, {offset}({rs1})"),
+        Insn::Mst { rs2, rs1, offset } => format!("mst {rs2}, {offset}({rs1})"),
+        Insn::March { op, rd, rs1, rs2 } => match op {
+            MarchOp::Mpld | MarchOp::Mtlbp => format!("{} {rd}, {rs1}", op.mnemonic()),
+            MarchOp::Mipend => format!("{} {rd}", op.mnemonic()),
+            MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept => {
+                format!("{} {rs1}, {rs2}", op.mnemonic())
+            }
+            MarchOp::Mtlbi | MarchOp::Masid | MarchOp::Miack | MarchOp::Mlayer => {
+                format!("{} {rs1}", op.mnemonic())
+            }
+            MarchOp::Mtlbiall => op.mnemonic().to_owned(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Cond, LoadOp};
+    use crate::reg::{MregIdx, Reg};
+
+    #[test]
+    fn disasm_samples() {
+        assert_eq!(
+            disassemble(&Insn::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: -4
+            }),
+            "lw a0, -4(sp)"
+        );
+        assert_eq!(
+            disassemble(&Insn::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: 8
+            }),
+            "bne a0, zero, .+8"
+        );
+        assert_eq!(
+            disassemble(&Insn::Menter {
+                rs1: Reg::ZERO,
+                entry: 7
+            }),
+            "menter 7"
+        );
+        assert_eq!(
+            disassemble(&Insn::Rmr {
+                rd: Reg::A0,
+                idx: MregIdx::mreg(0).unwrap()
+            }),
+            "rmr a0, m0"
+        );
+        assert_eq!(
+            disassemble(&Insn::Wmr {
+                rs1: Reg::T0,
+                idx: crate::metal::Mcr::Mstatus.index()
+            }),
+            "wmr mstatus, t0"
+        );
+    }
+}

@@ -1,0 +1,467 @@
+//! Instruction encoding: [`Insn`] → 32-bit instruction word.
+
+use crate::insn::{AluOp, CsrOp, CsrSrc, Insn};
+use crate::metal::METAL_OPCODE;
+use crate::reg::Reg;
+use crate::{fits_simm, sign_extend};
+use core::fmt;
+
+/// Major opcodes of the base ISA.
+pub mod opcodes {
+    /// `lui`.
+    pub const LUI: u32 = 0x37;
+    /// `auipc`.
+    pub const AUIPC: u32 = 0x17;
+    /// `jal`.
+    pub const JAL: u32 = 0x6F;
+    /// `jalr`.
+    pub const JALR: u32 = 0x67;
+    /// Conditional branches.
+    pub const BRANCH: u32 = 0x63;
+    /// Loads.
+    pub const LOAD: u32 = 0x03;
+    /// Stores.
+    pub const STORE: u32 = 0x23;
+    /// Register-immediate ALU.
+    pub const OP_IMM: u32 = 0x13;
+    /// Register-register ALU and RV32M.
+    pub const OP: u32 = 0x33;
+    /// `fence`.
+    pub const MISC_MEM: u32 = 0x0F;
+    /// `ecall`/`ebreak`/`mret`/`wfi`/CSR.
+    pub const SYSTEM: u32 = 0x73;
+}
+
+/// An [`Insn`] value that has no valid encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate or offset does not fit its field (field name, value).
+    ImmOutOfRange(&'static str, i64),
+    /// A branch or jump offset is odd.
+    MisalignedOffset(i64),
+    /// `AluImm` with [`AluOp::Sub`] (no `subi` exists).
+    SubImmediate,
+    /// Shift amount outside `0..32`.
+    BadShamt(i64),
+    /// `menter` entry number out of range (and not the indirect marker).
+    BadEntry(u32),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(field, v) => {
+                write!(f, "immediate {v} does not fit field {field}")
+            }
+            EncodeError::MisalignedOffset(v) => write!(f, "control-flow offset {v} is odd"),
+            EncodeError::SubImmediate => f.write_str("subtract-immediate has no encoding"),
+            EncodeError::BadShamt(v) => write!(f, "shift amount {v} outside 0..32"),
+            EncodeError::BadEntry(v) => write!(f, "mroutine entry {v} outside the entry table"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[inline]
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    opcode
+        | (rd.field() << 7)
+        | (funct3 << 12)
+        | (rs1.field() << 15)
+        | (rs2.field() << 20)
+        | (funct7 << 25)
+}
+
+#[inline]
+fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm12: u32) -> u32 {
+    opcode | (rd.field() << 7) | (funct3 << 12) | (rs1.field() << 15) | ((imm12 & 0xFFF) << 20)
+}
+
+#[inline]
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm12: u32) -> u32 {
+    opcode
+        | ((imm12 & 0x1F) << 7)
+        | (funct3 << 12)
+        | (rs1.field() << 15)
+        | (rs2.field() << 20)
+        | (((imm12 >> 5) & 0x7F) << 25)
+}
+
+#[inline]
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (funct3 << 12)
+        | (rs1.field() << 15)
+        | (rs2.field() << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+#[inline]
+fn u_type(opcode: u32, rd: Reg, imm20: u32) -> u32 {
+    opcode | (rd.field() << 7) | ((imm20 & 0xF_FFFF) << 12)
+}
+
+#[inline]
+fn j_type(opcode: u32, rd: Reg, offset: i32) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | (rd.field() << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+/// Encodes an instruction, validating immediate ranges.
+///
+/// This is the checked form used by the assembler; [`encode`] is the
+/// panicking convenience wrapper.
+pub fn try_encode(insn: &Insn) -> Result<u32, EncodeError> {
+    use opcodes::*;
+    let check_i = |imm: i32, field: &'static str| -> Result<u32, EncodeError> {
+        if fits_simm(imm as i64, 12) {
+            Ok(imm as u32)
+        } else {
+            Err(EncodeError::ImmOutOfRange(field, imm as i64))
+        }
+    };
+    match *insn {
+        Insn::Lui { rd, imm20 } => {
+            if imm20 >= 1 << 20 {
+                return Err(EncodeError::ImmOutOfRange("imm20", imm20 as i64));
+            }
+            Ok(u_type(LUI, rd, imm20))
+        }
+        Insn::Auipc { rd, imm20 } => {
+            if imm20 >= 1 << 20 {
+                return Err(EncodeError::ImmOutOfRange("imm20", imm20 as i64));
+            }
+            Ok(u_type(AUIPC, rd, imm20))
+        }
+        Insn::Jal { rd, offset } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset(offset as i64));
+            }
+            if !fits_simm(offset as i64, 21) {
+                return Err(EncodeError::ImmOutOfRange("jal offset", offset as i64));
+            }
+            Ok(j_type(JAL, rd, offset))
+        }
+        Insn::Jalr { rd, rs1, offset } => Ok(i_type(
+            JALR,
+            0b000,
+            rd,
+            rs1,
+            check_i(offset, "jalr offset")?,
+        )),
+        Insn::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            if offset % 2 != 0 {
+                return Err(EncodeError::MisalignedOffset(offset as i64));
+            }
+            if !fits_simm(offset as i64, 13) {
+                return Err(EncodeError::ImmOutOfRange("branch offset", offset as i64));
+            }
+            Ok(b_type(BRANCH, cond as u32, rs1, rs2, offset))
+        }
+        Insn::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => Ok(i_type(
+            LOAD,
+            op as u32,
+            rd,
+            rs1,
+            check_i(offset, "load offset")?,
+        )),
+        Insn::Store {
+            op,
+            rs2,
+            rs1,
+            offset,
+        } => Ok(s_type(
+            STORE,
+            op as u32,
+            rs1,
+            rs2,
+            check_i(offset, "store offset")?,
+        )),
+        Insn::AluImm { op, rd, rs1, imm } => match op {
+            AluOp::Sub => Err(EncodeError::SubImmediate),
+            AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                if !(0..32).contains(&imm) {
+                    return Err(EncodeError::BadShamt(imm as i64));
+                }
+                let funct7 = if op == AluOp::Sra { 0x20 } else { 0x00 };
+                Ok(i_type(
+                    OP_IMM,
+                    op.funct3(),
+                    rd,
+                    rs1,
+                    (funct7 << 5) | imm as u32,
+                ))
+            }
+            _ => Ok(i_type(
+                OP_IMM,
+                op.funct3(),
+                rd,
+                rs1,
+                check_i(imm, "alu imm")?,
+            )),
+        },
+        Insn::Alu { op, rd, rs1, rs2 } => {
+            let funct7 = match op {
+                AluOp::Sub | AluOp::Sra => 0x20,
+                _ => 0x00,
+            };
+            Ok(r_type(OP, op.funct3(), funct7, rd, rs1, rs2))
+        }
+        Insn::MulDiv { op, rd, rs1, rs2 } => Ok(r_type(OP, op as u32, 0x01, rd, rs1, rs2)),
+        Insn::Csr { op, rd, csr, src } => {
+            if csr >= 1 << 12 {
+                return Err(EncodeError::ImmOutOfRange("csr", csr as i64));
+            }
+            let (funct3, field) = match (op, src) {
+                (CsrOp::Rw, CsrSrc::Reg(r)) => (0b001, r.field()),
+                (CsrOp::Rs, CsrSrc::Reg(r)) => (0b010, r.field()),
+                (CsrOp::Rc, CsrSrc::Reg(r)) => (0b011, r.field()),
+                (CsrOp::Rw, CsrSrc::Imm(i)) => (0b101, u32::from(i)),
+                (CsrOp::Rs, CsrSrc::Imm(i)) => (0b110, u32::from(i)),
+                (CsrOp::Rc, CsrSrc::Imm(i)) => (0b111, u32::from(i)),
+            };
+            if field >= 32 {
+                return Err(EncodeError::ImmOutOfRange("csr uimm", field as i64));
+            }
+            Ok(i_type(
+                SYSTEM,
+                funct3,
+                rd,
+                Reg::from_field(field),
+                u32::from(csr),
+            ))
+        }
+        Insn::Ecall => Ok(i_type(SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x000)),
+        Insn::Ebreak => Ok(i_type(SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x001)),
+        Insn::Mret => Ok(i_type(SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x302)),
+        Insn::Wfi => Ok(i_type(SYSTEM, 0, Reg::ZERO, Reg::ZERO, 0x105)),
+        Insn::Fence => Ok(i_type(MISC_MEM, 0, Reg::ZERO, Reg::ZERO, 0)),
+        Insn::Menter { rs1, entry } => {
+            if entry != crate::metal::MENTER_INDIRECT
+                && entry as usize >= crate::metal::MAX_MROUTINES
+            {
+                return Err(EncodeError::BadEntry(entry));
+            }
+            Ok(i_type(METAL_OPCODE, 0b000, Reg::ZERO, rs1, entry))
+        }
+        Insn::Mexit => Ok(i_type(METAL_OPCODE, 0b001, Reg::ZERO, Reg::ZERO, 0)),
+        Insn::Rmr { rd, idx } => Ok(i_type(METAL_OPCODE, 0b010, rd, Reg::ZERO, idx.field())),
+        Insn::Wmr { rs1, idx } => Ok(i_type(METAL_OPCODE, 0b011, Reg::ZERO, rs1, idx.field())),
+        Insn::Mld { rd, rs1, offset } => Ok(i_type(
+            METAL_OPCODE,
+            0b100,
+            rd,
+            rs1,
+            check_i(offset, "mld offset")?,
+        )),
+        Insn::Mst { rs2, rs1, offset } => Ok(s_type(
+            METAL_OPCODE,
+            0b101,
+            rs1,
+            rs2,
+            check_i(offset, "mst offset")?,
+        )),
+        Insn::March { op, rd, rs1, rs2 } => {
+            Ok(r_type(METAL_OPCODE, 0b110, op as u32, rd, rs1, rs2))
+        }
+    }
+}
+
+/// Encodes an instruction.
+///
+/// # Panics
+///
+/// Panics if the instruction has no valid encoding (see [`EncodeError`]);
+/// use [`try_encode`] for the fallible form.
+#[must_use]
+pub fn encode(insn: &Insn) -> u32 {
+    match try_encode(insn) {
+        Ok(word) => word,
+        Err(e) => panic!("unencodable instruction {insn:?}: {e}"),
+    }
+}
+
+/// Extracts the B-type branch offset from an instruction word.
+#[must_use]
+pub fn branch_offset(word: u32) -> i32 {
+    let imm = ((word >> 7) & 1) << 11
+        | ((word >> 8) & 0xF) << 1
+        | ((word >> 25) & 0x3F) << 5
+        | ((word >> 31) & 1) << 12;
+    sign_extend(imm, 13)
+}
+
+/// Extracts the J-type jump offset from an instruction word.
+#[must_use]
+pub fn jal_offset(word: u32) -> i32 {
+    let imm = ((word >> 21) & 0x3FF) << 1
+        | ((word >> 20) & 1) << 11
+        | ((word >> 12) & 0xFF) << 12
+        | ((word >> 31) & 1) << 20;
+    sign_extend(imm, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Cond, LoadOp, StoreOp};
+
+    #[test]
+    fn known_encodings_match_riscv() {
+        // Cross-checked against riscv-tools output.
+        // addi a0, zero, 42
+        assert_eq!(
+            encode(&Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 42
+            }),
+            0x02A0_0513
+        );
+        // lw a0, 0(a1)
+        assert_eq!(
+            encode(&Insn::Load {
+                op: LoadOp::Lw,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 0
+            }),
+            0x0005_A503
+        );
+        // sw a0, 4(sp)
+        assert_eq!(
+            encode(&Insn::Store {
+                op: StoreOp::Sw,
+                rs2: Reg::A0,
+                rs1: Reg::SP,
+                offset: 4
+            }),
+            0x00A1_2223
+        );
+        // ecall
+        assert_eq!(encode(&Insn::Ecall), 0x0000_0073);
+        // mret
+        assert_eq!(encode(&Insn::Mret), 0x3020_0073);
+        // sub a0, a0, a1
+        assert_eq!(
+            encode(&Insn::Alu {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1
+            }),
+            0x40B5_0533
+        );
+        // srai a0, a0, 3
+        assert_eq!(
+            encode(&Insn::AluImm {
+                op: AluOp::Sra,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 3
+            }),
+            0x4035_5513
+        );
+    }
+
+    #[test]
+    fn branch_offset_roundtrip() {
+        for off in [-4096, -2, 0, 2, 16, 4094] {
+            let word = encode(&Insn::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: off,
+            });
+            assert_eq!(branch_offset(word), off, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn jal_offset_roundtrip() {
+        for off in [-1048576, -2, 0, 2, 2048, 1048574] {
+            let word = encode(&Insn::Jal {
+                rd: Reg::RA,
+                offset: off,
+            });
+            assert_eq!(jal_offset(word), off, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            try_encode(&Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 2048
+            }),
+            Err(EncodeError::ImmOutOfRange(..))
+        ));
+        assert!(matches!(
+            try_encode(&Insn::Branch {
+                cond: Cond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 3
+            }),
+            Err(EncodeError::MisalignedOffset(3))
+        ));
+        assert!(matches!(
+            try_encode(&Insn::AluImm {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1
+            }),
+            Err(EncodeError::SubImmediate)
+        ));
+        assert!(matches!(
+            try_encode(&Insn::AluImm {
+                op: AluOp::Sll,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 32
+            }),
+            Err(EncodeError::BadShamt(32))
+        ));
+        assert!(matches!(
+            try_encode(&Insn::Menter {
+                rs1: Reg::ZERO,
+                entry: 64
+            }),
+            Err(EncodeError::BadEntry(64))
+        ));
+    }
+
+    #[test]
+    fn menter_indirect_encodes() {
+        let insn = Insn::Menter {
+            rs1: Reg::A0,
+            entry: crate::metal::MENTER_INDIRECT,
+        };
+        assert!(try_encode(&insn).is_ok());
+    }
+}

@@ -1,0 +1,487 @@
+//! The Metal instruction extension: opcode layout, architectural-feature
+//! sub-operations, Metal control registers, and interception selectors.
+//!
+//! Metal occupies the *custom-0* major opcode (`0001011`, 0x0B) and is
+//! discriminated by `funct3` (paper Table 1 plus the architectural-feature
+//! group the paper leaves to the processor vendor, §2.3):
+//!
+//! | funct3 | mnemonic | availability |
+//! |--------|----------------|---------------------------|
+//! | 000    | `menter`       | normal mode (unprivileged) |
+//! | 001    | `mexit`        | Metal mode only            |
+//! | 010    | `rmr`          | Metal mode only            |
+//! | 011    | `wmr`          | Metal mode only            |
+//! | 100    | `mld`          | Metal mode only            |
+//! | 101    | `mst`          | Metal mode only            |
+//! | 110    | `march.*`      | Metal mode only            |
+//! | 111    | reserved       | always traps               |
+
+use crate::reg::MregIdx;
+use core::fmt;
+
+/// Major opcode of every Metal instruction (RISC-V *custom-0*).
+pub const METAL_OPCODE: u32 = 0x0B;
+
+/// `funct3` discriminators within the Metal major opcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum MetalOpcode {
+    /// Enter Metal mode at an mroutine entry.
+    Menter = 0b000,
+    /// Exit Metal mode; resume at the address in `m31`.
+    Mexit = 0b001,
+    /// Read a Metal register or control register into a GPR.
+    Rmr = 0b010,
+    /// Write a GPR into a Metal register or control register.
+    Wmr = 0b011,
+    /// Load a word from the MRAM data segment.
+    Mld = 0b100,
+    /// Store a word to the MRAM data segment.
+    Mst = 0b101,
+    /// Architectural-feature sub-operation (see [`MarchOp`]).
+    March = 0b110,
+}
+
+impl MetalOpcode {
+    /// Decodes a funct3 field; `0b111` is reserved and returns `None`.
+    #[must_use]
+    pub const fn from_funct3(funct3: u32) -> Option<MetalOpcode> {
+        match funct3 & 0x7 {
+            0b000 => Some(MetalOpcode::Menter),
+            0b001 => Some(MetalOpcode::Mexit),
+            0b010 => Some(MetalOpcode::Rmr),
+            0b011 => Some(MetalOpcode::Wmr),
+            0b100 => Some(MetalOpcode::Mld),
+            0b101 => Some(MetalOpcode::Mst),
+            0b110 => Some(MetalOpcode::March),
+            _ => None,
+        }
+    }
+}
+
+/// Immediate value in `menter` that selects register-indirect entry:
+/// `menter rs1, MENTER_INDIRECT` enters the mroutine whose entry number is
+/// in `rs1` instead of in the immediate.
+pub const MENTER_INDIRECT: u32 = 0xFFF;
+
+/// Maximum number of mroutine entries the MRAM entry table supports
+/// (paper §2: "a small RAM (MRAM) to store up to 64 mroutines").
+pub const MAX_MROUTINES: usize = 64;
+
+/// Architectural-feature sub-operations (`funct3 = 110`), selected by
+/// `funct7`. These are the features the prototype processor exposes to
+/// Metal (paper §2.3): direct physical memory access, TLB modification,
+/// page keys, address-space IDs, interception control, and interrupt
+/// delivery control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum MarchOp {
+    /// `mpld rd, rs1`: load a word from *physical* address `rs1`,
+    /// bypassing the MMU.
+    Mpld = 0x00,
+    /// `mpst rs1, rs2`: store word `rs2` to *physical* address `rs1`.
+    Mpst = 0x01,
+    /// `mtlbw rs1, rs2`: write a TLB entry. `rs1` is the virtual address
+    /// (VPN in bits 31:12); `rs2` is a PTE-format word (PPN in 31:12,
+    /// flags in 11:0). The entry is tagged with the current ASID.
+    Mtlbw = 0x02,
+    /// `mtlbi rs1`: invalidate the TLB entry matching virtual address
+    /// `rs1` under the current ASID. With `rs1 = x0`, flushes all entries
+    /// of the current ASID.
+    Mtlbi = 0x03,
+    /// `mtlbp rd, rs1`: probe the TLB for virtual address `rs1`; `rd`
+    /// receives the PTE-format entry, or 0 if there is no match.
+    Mtlbp = 0x04,
+    /// `masid rs1`: set the current address-space ID.
+    Masid = 0x05,
+    /// `mpkey rs1, rs2`: set the permission mask for page key `rs1` to
+    /// `rs2` (bit 0 = read allowed, bit 1 = write allowed).
+    Mpkey = 0x06,
+    /// `mintercept rs1, rs2`: program the instruction-interception table.
+    /// `rs1` is an [`InterceptSelector`] word; `rs2` is
+    /// `(mroutine entry << 1) | enable`.
+    Mintercept = 0x07,
+    /// `mipend rd`: read the pending-interrupt bitmap.
+    Mipend = 0x08,
+    /// `miack rs1`: acknowledge (clear) interrupt line `rs1`.
+    Miack = 0x09,
+    /// `mlayer rs1`: switch the active nested-Metal layer.
+    Mlayer = 0x0A,
+    /// `mtlbiall`: flush the entire TLB (all ASIDs).
+    Mtlbiall = 0x0B,
+}
+
+impl MarchOp {
+    /// Decodes a funct7 field.
+    #[must_use]
+    pub const fn from_funct7(funct7: u32) -> Option<MarchOp> {
+        match funct7 {
+            0x00 => Some(MarchOp::Mpld),
+            0x01 => Some(MarchOp::Mpst),
+            0x02 => Some(MarchOp::Mtlbw),
+            0x03 => Some(MarchOp::Mtlbi),
+            0x04 => Some(MarchOp::Mtlbp),
+            0x05 => Some(MarchOp::Masid),
+            0x06 => Some(MarchOp::Mpkey),
+            0x07 => Some(MarchOp::Mintercept),
+            0x08 => Some(MarchOp::Mipend),
+            0x09 => Some(MarchOp::Miack),
+            0x0A => Some(MarchOp::Mlayer),
+            0x0B => Some(MarchOp::Mtlbiall),
+            _ => None,
+        }
+    }
+
+    /// Assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            MarchOp::Mpld => "mpld",
+            MarchOp::Mpst => "mpst",
+            MarchOp::Mtlbw => "mtlbw",
+            MarchOp::Mtlbi => "mtlbi",
+            MarchOp::Mtlbp => "mtlbp",
+            MarchOp::Masid => "masid",
+            MarchOp::Mpkey => "mpkey",
+            MarchOp::Mintercept => "mintercept",
+            MarchOp::Mipend => "mipend",
+            MarchOp::Miack => "miack",
+            MarchOp::Mlayer => "mlayer",
+            MarchOp::Mtlbiall => "mtlbiall",
+        }
+    }
+
+    /// All defined sub-operations.
+    #[must_use]
+    pub const fn all() -> [MarchOp; 12] {
+        [
+            MarchOp::Mpld,
+            MarchOp::Mpst,
+            MarchOp::Mtlbw,
+            MarchOp::Mtlbi,
+            MarchOp::Mtlbp,
+            MarchOp::Masid,
+            MarchOp::Mpkey,
+            MarchOp::Mintercept,
+            MarchOp::Mipend,
+            MarchOp::Miack,
+            MarchOp::Mlayer,
+            MarchOp::Mtlbiall,
+        ]
+    }
+}
+
+/// First `rmr`/`wmr` index that names a Metal control register rather than
+/// one of `m0..m31`.
+pub const MCR_BASE: u16 = 0x400;
+
+/// Metal control registers, read and written with `rmr`/`wmr` using
+/// indices at or above [`MCR_BASE`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Mcr {
+    /// Cause of the event that entered the current mroutine
+    /// (see `metal-core`'s `EntryCause` encoding).
+    Mcause = 0x400,
+    /// Faulting virtual address for memory exceptions.
+    Mbadaddr = 0x401,
+    /// The intercepted instruction word (valid when entered via intercept).
+    Minsn = 0x402,
+    /// Metal status: bit 0 = intercept master enable; bits 8..16 = active
+    /// nested layer.
+    Mstatus = 0x403,
+    /// Current address-space ID (read-only mirror of `masid`).
+    MasidCur = 0x404,
+    /// Free-running cycle counter (read-only).
+    Mclock = 0x405,
+    /// Entry number of the currently executing mroutine (read-only).
+    Mentry = 0x406,
+    /// Pending-interrupt bitmap (read-only mirror of `mipend`).
+    Mipending = 0x407,
+    /// Instructions-retired counter (read-only).
+    Minstret = 0x408,
+    /// Scratch control register (free use by mroutines).
+    Mscratch = 0x409,
+}
+
+impl Mcr {
+    /// Decodes an `rmr`/`wmr` index field.
+    #[must_use]
+    pub const fn from_index(idx: MregIdx) -> Option<Mcr> {
+        match idx.field() {
+            0x400 => Some(Mcr::Mcause),
+            0x401 => Some(Mcr::Mbadaddr),
+            0x402 => Some(Mcr::Minsn),
+            0x403 => Some(Mcr::Mstatus),
+            0x404 => Some(Mcr::MasidCur),
+            0x405 => Some(Mcr::Mclock),
+            0x406 => Some(Mcr::Mentry),
+            0x407 => Some(Mcr::Mipending),
+            0x408 => Some(Mcr::Minstret),
+            0x409 => Some(Mcr::Mscratch),
+            _ => None,
+        }
+    }
+
+    /// The `rmr`/`wmr` index naming this control register.
+    #[must_use]
+    pub const fn index(self) -> MregIdx {
+        MregIdx::from_field(self as u16 as u32)
+    }
+
+    /// Assembler name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Mcr::Mcause => "mcause",
+            Mcr::Mbadaddr => "mbadaddr",
+            Mcr::Minsn => "minsn",
+            Mcr::Mstatus => "mstatus",
+            Mcr::MasidCur => "masid_cur",
+            Mcr::Mclock => "mclock",
+            Mcr::Mentry => "mentry",
+            Mcr::Mipending => "mipending",
+            Mcr::Minstret => "minstret",
+            Mcr::Mscratch => "mscratch",
+        }
+    }
+
+    /// True if `wmr` to this register is ignored (read-only registers).
+    #[must_use]
+    pub const fn read_only(self) -> bool {
+        matches!(
+            self,
+            Mcr::MasidCur | Mcr::Mclock | Mcr::Mentry | Mcr::Mipending | Mcr::Minstret
+        )
+    }
+
+    /// All defined control registers.
+    #[must_use]
+    pub const fn all() -> [Mcr; 10] {
+        [
+            Mcr::Mcause,
+            Mcr::Mbadaddr,
+            Mcr::Minsn,
+            Mcr::Mstatus,
+            Mcr::MasidCur,
+            Mcr::Mclock,
+            Mcr::Mentry,
+            Mcr::Mipending,
+            Mcr::Minstret,
+            Mcr::Mscratch,
+        ]
+    }
+
+    /// Parses an assembler name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Mcr> {
+        Mcr::all().into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// Selector word for `mintercept`, describing *which* instructions an
+/// interception rule matches (paper §2.3: "our implementation allows
+/// intercepting any instruction with an mroutine").
+///
+/// Encoding of the selector register value:
+///
+/// * bit 31 = 0: **opcode-class** match. Bits 6:0 give the major opcode;
+///   every instruction with that major opcode is intercepted.
+/// * bit 31 = 1: **exact** match. Bits 6:0 = major opcode, bits 9:7 =
+///   funct3, bits 16:10 = funct7, bit 30 = "funct7 matters".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InterceptSelector {
+    /// Match every instruction with the given major opcode.
+    OpcodeClass {
+        /// Major opcode (7 bits).
+        opcode: u32,
+    },
+    /// Match instructions with a specific opcode and funct3 (and
+    /// optionally funct7).
+    Exact {
+        /// Major opcode (7 bits).
+        opcode: u32,
+        /// The funct3 field (3 bits).
+        funct3: u32,
+        /// If `Some`, the funct7 field must also match.
+        funct7: Option<u32>,
+    },
+}
+
+impl InterceptSelector {
+    /// Encodes the selector into the `rs1` register value for `mintercept`.
+    #[must_use]
+    pub const fn encode(self) -> u32 {
+        match self {
+            InterceptSelector::OpcodeClass { opcode } => opcode & 0x7F,
+            InterceptSelector::Exact {
+                opcode,
+                funct3,
+                funct7,
+            } => {
+                let base = (1 << 31) | (opcode & 0x7F) | ((funct3 & 0x7) << 7);
+                match funct7 {
+                    Some(f7) => base | (1 << 30) | ((f7 & 0x7F) << 10),
+                    None => base,
+                }
+            }
+        }
+    }
+
+    /// Decodes a selector register value.
+    #[must_use]
+    pub const fn decode(word: u32) -> InterceptSelector {
+        if word & (1 << 31) == 0 {
+            InterceptSelector::OpcodeClass {
+                opcode: word & 0x7F,
+            }
+        } else {
+            let funct7 = if word & (1 << 30) != 0 {
+                Some((word >> 10) & 0x7F)
+            } else {
+                None
+            };
+            InterceptSelector::Exact {
+                opcode: word & 0x7F,
+                funct3: (word >> 7) & 0x7,
+                funct7,
+            }
+        }
+    }
+
+    /// True if the selector matches the given raw instruction word.
+    #[must_use]
+    pub const fn matches(self, insn_word: u32) -> bool {
+        let opc = insn_word & 0x7F;
+        match self {
+            InterceptSelector::OpcodeClass { opcode } => opc == opcode,
+            InterceptSelector::Exact {
+                opcode,
+                funct3,
+                funct7,
+            } => {
+                if opc != opcode || (insn_word >> 12) & 0x7 != funct3 {
+                    return false;
+                }
+                match funct7 {
+                    Some(f7) => (insn_word >> 25) & 0x7F == f7,
+                    None => true,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for InterceptSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterceptSelector::OpcodeClass { opcode } => write!(f, "class[{opcode:#04x}]"),
+            InterceptSelector::Exact {
+                opcode,
+                funct3,
+                funct7: Some(f7),
+            } => write!(f, "exact[{opcode:#04x}.{funct3}.{f7:#04x}]"),
+            InterceptSelector::Exact {
+                opcode, funct3, ..
+            } => write!(f, "exact[{opcode:#04x}.{funct3}]"),
+        }
+    }
+}
+
+/// Rows of the paper's Table 1 (plus the vendor architectural-feature
+/// group), for documentation and the `reproduce -- table1` harness.
+#[must_use]
+pub fn instruction_table() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "menter",
+            "normal mode",
+            "Enter Metal mode at an mroutine entry; m31 <- return address",
+        ),
+        (
+            "mexit",
+            "Metal mode",
+            "Exit Metal mode and resume execution at the address in m31",
+        ),
+        ("rmr", "Metal mode", "Read Metal register / control register"),
+        ("wmr", "Metal mode", "Write Metal register / control register"),
+        ("mld", "Metal mode", "Load word from the MRAM data segment"),
+        ("mst", "Metal mode", "Store word to the MRAM data segment"),
+        (
+            "march.*",
+            "Metal mode",
+            "Vendor architectural features: physical memory, TLB, ASIDs, page keys, interception, interrupts",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metal_opcode_funct3_roundtrip() {
+        for f3 in 0..7u32 {
+            let op = MetalOpcode::from_funct3(f3).expect("0..7 are defined");
+            assert_eq!(op as u32, f3);
+        }
+        assert_eq!(MetalOpcode::from_funct3(7), None);
+    }
+
+    #[test]
+    fn march_funct7_roundtrip() {
+        for op in MarchOp::all() {
+            assert_eq!(MarchOp::from_funct7(op as u32), Some(op));
+        }
+        assert_eq!(MarchOp::from_funct7(0x7F), None);
+    }
+
+    #[test]
+    fn mcr_index_roundtrip() {
+        for mcr in Mcr::all() {
+            assert_eq!(Mcr::from_index(mcr.index()), Some(mcr));
+            assert_eq!(Mcr::parse(mcr.name()), Some(mcr));
+        }
+        assert_eq!(Mcr::from_index(MregIdx::from_field(0x4FF)), None);
+    }
+
+    #[test]
+    fn selector_class_matches_whole_opcode() {
+        let sel = InterceptSelector::OpcodeClass { opcode: 0x03 };
+        // lw a0, 0(a1) = opcode 0x03.
+        assert!(sel.matches(0x0005_A503));
+        // sw uses opcode 0x23.
+        assert!(!sel.matches(0x00A5_A023));
+        assert_eq!(InterceptSelector::decode(sel.encode()), sel);
+    }
+
+    #[test]
+    fn selector_exact_funct3() {
+        let sel = InterceptSelector::Exact {
+            opcode: 0x03,
+            funct3: 0b010,
+            funct7: None,
+        };
+        assert!(sel.matches(0x0005_A503)); // lw
+        assert!(!sel.matches(0x0005_8503)); // lb (funct3=000)
+        assert_eq!(InterceptSelector::decode(sel.encode()), sel);
+    }
+
+    #[test]
+    fn selector_exact_funct7() {
+        let sel = InterceptSelector::Exact {
+            opcode: 0x33,
+            funct3: 0b000,
+            funct7: Some(0x20),
+        };
+        assert!(sel.matches(0x40B5_0533)); // sub a0,a0,a1
+        assert!(!sel.matches(0x00B5_0533)); // add a0,a0,a1
+        assert_eq!(InterceptSelector::decode(sel.encode()), sel);
+    }
+
+    #[test]
+    fn instruction_table_matches_paper_count() {
+        // Table 1 lists 6 Metal instructions; we add the vendor march group.
+        assert_eq!(instruction_table().len(), 7);
+    }
+}

@@ -1,0 +1,278 @@
+//! General-purpose and Metal register names.
+
+use core::fmt;
+
+/// One of the 32 general-purpose registers `x0..x31`.
+///
+/// The wrapped index is guaranteed to be in `0..32`; constructing a `Reg`
+/// goes through [`Reg::new`] (fallible) or the named constants.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `x3`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4`.
+    pub const TP: Reg = Reg(4);
+    /// Temporary `x5`.
+    pub const T0: Reg = Reg(5);
+    /// Temporary `x6`.
+    pub const T1: Reg = Reg(6);
+    /// Temporary `x7`.
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer `x8`.
+    pub const S0: Reg = Reg(8);
+    /// Saved register `x9`.
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value `x10`.
+    pub const A0: Reg = Reg(10);
+    /// Argument / return value `x11`.
+    pub const A1: Reg = Reg(11);
+    /// Argument `x12`.
+    pub const A2: Reg = Reg(12);
+    /// Argument `x13`.
+    pub const A3: Reg = Reg(13);
+    /// Argument `x14`.
+    pub const A4: Reg = Reg(14);
+    /// Argument `x15`.
+    pub const A5: Reg = Reg(15);
+    /// Argument `x16`.
+    pub const A6: Reg = Reg(16);
+    /// Argument `x17` (syscall number in the mini-kernel ABI).
+    pub const A7: Reg = Reg(17);
+    /// Saved register `x18`.
+    pub const S2: Reg = Reg(18);
+    /// Saved register `x19`.
+    pub const S3: Reg = Reg(19);
+    /// Saved register `x20`.
+    pub const S4: Reg = Reg(20);
+    /// Saved register `x21`.
+    pub const S5: Reg = Reg(21);
+    /// Saved register `x22`.
+    pub const S6: Reg = Reg(22);
+    /// Saved register `x23`.
+    pub const S7: Reg = Reg(23);
+    /// Saved register `x24`.
+    pub const S8: Reg = Reg(24);
+    /// Saved register `x25`.
+    pub const S9: Reg = Reg(25);
+    /// Saved register `x26`.
+    pub const S10: Reg = Reg(26);
+    /// Saved register `x27`.
+    pub const S11: Reg = Reg(27);
+    /// Temporary `x28`.
+    pub const T3: Reg = Reg(28);
+    /// Temporary `x29`.
+    pub const T4: Reg = Reg(29);
+    /// Temporary `x30`.
+    pub const T5: Reg = Reg(30);
+    /// Temporary `x31`.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from a raw index, returning `None` if out of range.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    #[inline]
+    #[must_use]
+    pub const fn from_field(field: u32) -> Reg {
+        Reg((field & 0x1F) as u8)
+    }
+
+    /// The raw index in `0..32`.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw index as a `u32` encoding field.
+    #[inline]
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, …).
+    #[must_use]
+    pub const fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parses either an `xN` numeric name or an ABI name (including `fp`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(num) = name.strip_prefix('x') {
+            if let Ok(n) = num.parse::<u8>() {
+                return Reg::new(n);
+            }
+        }
+        if name == "fp" {
+            return Some(Reg::S0);
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&abi| abi == name)
+            .map(|i| Reg(i as u8))
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}/{}", self.0, self.abi_name())
+    }
+}
+
+/// Index of a Metal register `m0..m31` or a Metal control register.
+///
+/// Values `0..32` name the Metal register file; values at or above
+/// [`crate::metal::MCR_BASE`] name Metal control registers. The `rmr`/`wmr`
+/// instructions carry this index in their 12-bit immediate field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MregIdx(u16);
+
+impl MregIdx {
+    /// Metal register `m31`: receives the return address on `menter`.
+    pub const RETURN_ADDRESS: MregIdx = MregIdx(31);
+
+    /// Creates an index for Metal register `mN`.
+    #[inline]
+    #[must_use]
+    pub const fn mreg(n: u8) -> Option<MregIdx> {
+        if n < 32 {
+            Some(MregIdx(n as u16))
+        } else {
+            None
+        }
+    }
+
+    /// Creates an index from a raw 12-bit immediate field.
+    #[inline]
+    #[must_use]
+    pub const fn from_field(field: u32) -> MregIdx {
+        MregIdx((field & 0xFFF) as u16)
+    }
+
+    /// The raw 12-bit field value.
+    #[inline]
+    #[must_use]
+    pub const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// True if this index names one of `m0..m31` (not a control register).
+    #[inline]
+    #[must_use]
+    pub const fn is_mreg(self) -> bool {
+        self.0 < 32
+    }
+
+    /// The Metal register number if this is `m0..m31`.
+    #[inline]
+    #[must_use]
+    pub const fn mreg_index(self) -> Option<usize> {
+        if self.is_mreg() {
+            Some(self.0 as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for MregIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_mreg() {
+            write!(f, "m{}", self.0)
+        } else {
+            match crate::metal::Mcr::from_index(*self) {
+                Some(mcr) => f.write_str(mcr.name()),
+                None => write!(f, "mcr:{:#x}", self.0),
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MregIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_names() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.abi_name()), Some(r));
+            assert_eq!(Reg::parse(&format!("x{}", r.index())), Some(r));
+        }
+    }
+
+    #[test]
+    fn reg_parse_fp_alias() {
+        assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+        assert_eq!(Reg::parse("s0"), Some(Reg::S0));
+    }
+
+    #[test]
+    fn reg_rejects_out_of_range() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q7"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn reg_from_field_masks() {
+        assert_eq!(Reg::from_field(0x25), Reg::T0);
+    }
+
+    #[test]
+    fn mreg_index_classification() {
+        assert!(MregIdx::mreg(0).unwrap().is_mreg());
+        assert!(MregIdx::mreg(31).unwrap().is_mreg());
+        assert_eq!(MregIdx::mreg(32), None);
+        assert!(!MregIdx::from_field(0x400).is_mreg());
+        assert_eq!(MregIdx::mreg(7).unwrap().mreg_index(), Some(7));
+        assert_eq!(MregIdx::from_field(0x400).mreg_index(), None);
+    }
+
+    #[test]
+    fn mreg_display() {
+        assert_eq!(MregIdx::mreg(31).unwrap().to_string(), "m31");
+        assert_eq!(MregIdx::RETURN_ADDRESS.to_string(), "m31");
+    }
+}

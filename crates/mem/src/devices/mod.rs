@@ -1,0 +1,25 @@
+//! Memory-mapped devices: console, timer, and a DPDK-style packet device.
+
+pub mod console;
+pub mod nic;
+pub mod timer;
+
+pub use console::Console;
+pub use nic::{Nic, NicHandle};
+pub use timer::Timer;
+
+/// Conventional MMIO layout used by the mini-kernel and the examples.
+pub mod map {
+    /// Console window base.
+    pub const CONSOLE_BASE: u32 = 0xF000_0000;
+    /// Timer window base.
+    pub const TIMER_BASE: u32 = 0xF000_0100;
+    /// Packet-device window base.
+    pub const NIC_BASE: u32 = 0xF000_0200;
+    /// Window length for each device.
+    pub const WINDOW_LEN: u32 = 0x100;
+    /// Timer interrupt line.
+    pub const TIMER_IRQ: u8 = 0;
+    /// Packet-device interrupt line.
+    pub const NIC_IRQ: u8 = 1;
+}

@@ -1,0 +1,190 @@
+//! Hardware page-table walker for the *baseline* core.
+//!
+//! Walks an x86-style two-level radix tree (10-bit directory index,
+//! 10-bit table index, 12-bit offset) — the structure "the Linux kernel
+//! team has pressured multiple processor vendors to implement" (paper
+//! §3.2). Metal makes this walker unnecessary: the same walk is a few
+//! lines of mcode in the page-fault mroutine. Keeping the hardware walker
+//! lets experiment E3 compare hardware-managed, trap-based
+//! software-managed, and Metal-managed TLB refills.
+
+use crate::tlb::{AccessKind, Pte};
+use crate::{MemError, PhysMemory, PAGE_SHIFT};
+
+/// Result of a page-table walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkResult {
+    /// Translation found; leaf PTE returned (permissions NOT yet checked
+    /// against the access kind — the caller decides fault semantics).
+    Mapped(Pte),
+    /// A directory or leaf entry was invalid.
+    NotMapped {
+        /// Walk level at which the walk stopped (0 = directory, 1 = leaf).
+        level: u8,
+    },
+}
+
+/// An x86-style two-level radix page-table walker.
+///
+/// Layout: the root table is one 4 KiB page of 1024 word-sized directory
+/// entries. A directory entry with [`Pte::V`] points at a 4 KiB leaf
+/// table of 1024 PTEs.
+#[derive(Clone, Copy, Debug)]
+pub struct Walker {
+    /// Physical base address of the root directory (page-aligned).
+    pub root: u32,
+}
+
+impl Walker {
+    /// Creates a walker rooted at `root` (must be page-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not page-aligned.
+    #[must_use]
+    pub fn new(root: u32) -> Walker {
+        assert_eq!(root & 0xFFF, 0, "page-table root must be page-aligned");
+        Walker { root }
+    }
+
+    /// Directory index of a virtual address (top 10 bits).
+    #[inline]
+    #[must_use]
+    pub fn dir_index(va: u32) -> u32 {
+        va >> 22
+    }
+
+    /// Leaf-table index of a virtual address (next 10 bits).
+    #[inline]
+    #[must_use]
+    pub fn table_index(va: u32) -> u32 {
+        (va >> PAGE_SHIFT) & 0x3FF
+    }
+
+    /// Walks the tree for `va`. Also returns the number of memory
+    /// accesses performed (1 or 2), which the baseline core charges as
+    /// walk latency.
+    pub fn walk(&self, mem: &PhysMemory, va: u32) -> Result<(WalkResult, u32), MemError> {
+        let dir_entry_addr = self.root + Walker::dir_index(va) * 4;
+        let dir_entry = Pte(mem.read_u32(dir_entry_addr)?);
+        if !dir_entry.valid() {
+            return Ok((WalkResult::NotMapped { level: 0 }, 1));
+        }
+        let leaf_addr = dir_entry.phys_base() + Walker::table_index(va) * 4;
+        let leaf = Pte(mem.read_u32(leaf_addr)?);
+        if !leaf.valid() {
+            return Ok((WalkResult::NotMapped { level: 1 }, 2));
+        }
+        Ok((WalkResult::Mapped(leaf), 2))
+    }
+
+    /// Convenience for tests and the mini-kernel: installs a 4 KiB
+    /// mapping `va -> pa` with `flags`, allocating the leaf table from
+    /// `alloc` (a bump pointer of page-aligned physical addresses) when
+    /// the directory slot is empty.
+    pub fn map(
+        &self,
+        mem: &mut PhysMemory,
+        va: u32,
+        pa: u32,
+        flags: u32,
+        alloc: &mut impl FnMut() -> u32,
+    ) -> Result<(), MemError> {
+        let dir_entry_addr = self.root + Walker::dir_index(va) * 4;
+        let mut dir_entry = Pte(mem.read_u32(dir_entry_addr)?);
+        if !dir_entry.valid() {
+            let table = alloc();
+            debug_assert_eq!(table & 0xFFF, 0, "allocator must return page-aligned tables");
+            // Zero the new leaf table.
+            for i in 0..1024 {
+                mem.write_u32(table + i * 4, 0)?;
+            }
+            dir_entry = Pte::new(table, Pte::V);
+            mem.write_u32(dir_entry_addr, dir_entry.0)?;
+        }
+        let leaf_addr = dir_entry.phys_base() + Walker::table_index(va) * 4;
+        mem.write_u32(leaf_addr, Pte::new(pa, flags | Pte::V).0)
+    }
+
+    /// Checks a walked PTE against an access kind, mirroring the
+    /// permission logic the TLB applies.
+    #[must_use]
+    pub fn permits(pte: Pte, kind: AccessKind) -> bool {
+        pte.permits(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMemory, Walker, Box<dyn FnMut() -> u32>) {
+        let mem = PhysMemory::new(1 << 20);
+        let walker = Walker::new(0x1000);
+        let mut next = 0x2000u32;
+        let alloc = Box::new(move || {
+            let page = next;
+            next += 0x1000;
+            page
+        });
+        (mem, walker, alloc)
+    }
+
+    #[test]
+    fn unmapped_at_directory() {
+        let (mem, walker, _) = setup();
+        let (result, accesses) = walker.walk(&mem, 0xDEAD_B000).unwrap();
+        assert_eq!(result, WalkResult::NotMapped { level: 0 });
+        assert_eq!(accesses, 1);
+    }
+
+    #[test]
+    fn map_then_walk() {
+        let (mut mem, walker, mut alloc) = setup();
+        walker
+            .map(&mut mem, 0x0040_3000, 0x0009_A000, Pte::R | Pte::W, &mut alloc)
+            .unwrap();
+        let (result, accesses) = walker.walk(&mem, 0x0040_3ABC).unwrap();
+        assert_eq!(accesses, 2);
+        let WalkResult::Mapped(pte) = result else {
+            panic!("expected a mapping");
+        };
+        assert_eq!(pte.phys_base(), 0x0009_A000);
+        assert!(pte.permits(AccessKind::Read));
+        assert!(pte.permits(AccessKind::Write));
+        assert!(!pte.permits(AccessKind::Execute));
+    }
+
+    #[test]
+    fn unmapped_at_leaf() {
+        let (mut mem, walker, mut alloc) = setup();
+        walker
+            .map(&mut mem, 0x0040_3000, 0x0009_A000, Pte::R, &mut alloc)
+            .unwrap();
+        // Same directory, different leaf slot.
+        let (result, accesses) = walker.walk(&mem, 0x0040_4000).unwrap();
+        assert_eq!(result, WalkResult::NotMapped { level: 1 });
+        assert_eq!(accesses, 2);
+    }
+
+    #[test]
+    fn two_mappings_share_directory() {
+        let (mut mem, walker, mut alloc) = setup();
+        walker
+            .map(&mut mem, 0x0000_1000, 0x0009_A000, Pte::R, &mut alloc)
+            .unwrap();
+        walker
+            .map(&mut mem, 0x0000_2000, 0x0009_B000, Pte::R, &mut alloc)
+            .unwrap();
+        let (r1, _) = walker.walk(&mem, 0x0000_1000).unwrap();
+        let (r2, _) = walker.walk(&mem, 0x0000_2000).unwrap();
+        assert!(matches!(r1, WalkResult::Mapped(p) if p.phys_base() == 0x0009_A000));
+        assert!(matches!(r2, WalkResult::Mapped(p) if p.phys_base() == 0x0009_B000));
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn rejects_misaligned_root() {
+        let _ = Walker::new(0x1004);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the software-managed TLB.
+
+use metal_mem::tlb::{AccessKind, Pte, Tlb, TlbConfig, TlbFault};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Install { va: u32, pa: u32, flags: u32, asid: u16 },
+    Translate { va: u32, asid: u16, kind: AccessKind },
+    Invalidate { va: u32, asid: u16 },
+    FlushAsid { asid: u16 },
+    FlushAll,
+    SetKey { key: u32, perms: u32 },
+}
+
+fn arb_kind() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Read),
+        Just(AccessKind::Write),
+        Just(AccessKind::Execute)
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Small universes so collisions and evictions actually happen.
+    let va = (0u32..16).prop_map(|p| p << 12);
+    let pa = (0u32..16).prop_map(|p| p << 12);
+    let asid = 0u16..3;
+    prop_oneof![
+        4 => (va.clone(), pa, 0u32..16, asid.clone()).prop_map(|(va, pa, flags, asid)| {
+            Op::Install {
+                va,
+                pa,
+                // Always valid; low bits choose R/W/X/G.
+                flags: Pte::V | (flags << 1),
+                asid,
+            }
+        }),
+        4 => (va.clone(), asid.clone(), arb_kind())
+            .prop_map(|(va, asid, kind)| Op::Translate { va, asid, kind }),
+        1 => (va, asid.clone()).prop_map(|(va, asid)| Op::Invalidate { va, asid }),
+        1 => asid.prop_map(|asid| Op::FlushAsid { asid }),
+        1 => Just(Op::FlushAll),
+        1 => (0u32..16, 0u32..4).prop_map(|(key, perms)| Op::SetKey { key, perms }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Invariant: at most one valid entry ever matches a (vpn, asid)
+    /// pair — duplicates would make translation nondeterministic.
+    #[test]
+    fn no_duplicate_matches(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 4, keys: 16 });
+        for op in ops {
+            match op {
+                Op::Install { va, pa, flags, asid } => tlb.install(va, Pte::new(pa, flags), asid),
+                Op::Translate { va, asid, kind } => {
+                    let _ = tlb.translate(va, asid, kind);
+                }
+                Op::Invalidate { va, asid } => tlb.invalidate(va, asid),
+                Op::FlushAsid { asid } => tlb.flush_asid(asid),
+                Op::FlushAll => tlb.flush_all(),
+                Op::SetKey { key, perms } => tlb.set_key_perms(key, perms),
+            }
+            // Check the invariant after every step.
+            for asid in 0u16..3 {
+                for vpn in 0u32..16 {
+                    let matches = tlb
+                        .iter_entries()
+                        .filter(|(v, a, pte)| {
+                            *v == vpn && pte.valid() && (pte.global() || *a == asid)
+                        })
+                        .count();
+                    prop_assert!(
+                        matches <= 1,
+                        "vpn {vpn} asid {asid} matched {matches} entries"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A model-based check: after a sequence of installs (no global
+    /// entries, fixed ASID, no evictions because the TLB is large),
+    /// translate agrees with a HashMap model.
+    #[test]
+    fn translate_matches_model(
+        installs in proptest::collection::vec((0u32..32, 0u32..32, 0u32..8), 1..32),
+        probes in proptest::collection::vec((0u32..32, arb_kind()), 1..64),
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 64, keys: 16 });
+        let mut model: HashMap<u32, Pte> = HashMap::new();
+        for (vp, pp, perm) in installs {
+            let pte = Pte::new(pp << 12, Pte::V | (perm << 1));
+            tlb.install(vp << 12, pte, 1);
+            model.insert(vp, pte);
+        }
+        for (vp, kind) in probes {
+            let got = tlb.translate((vp << 12) | 0x123, 1, kind);
+            match model.get(&vp) {
+                None => prop_assert_eq!(got, Err(TlbFault::Miss)),
+                Some(pte) if pte.permits(kind) => {
+                    prop_assert_eq!(got, Ok(pte.phys_base() | 0x123));
+                }
+                Some(_) => prop_assert_eq!(got, Err(TlbFault::Protection)),
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity, and install of N distinct pages
+    /// into an N-entry TLB keeps all of them resident (LRU never evicts
+    /// under exact fit).
+    #[test]
+    fn capacity_respected(n in 1usize..16) {
+        let mut tlb = Tlb::new(TlbConfig { entries: n, keys: 16 });
+        for i in 0..n as u32 {
+            tlb.install(i << 12, Pte::new(i << 12, Pte::V | Pte::R), 0);
+        }
+        prop_assert_eq!(tlb.occupancy(), n);
+        for i in 0..n as u32 {
+            prop_assert!(tlb.translate(i << 12, 0, AccessKind::Read).is_ok());
+        }
+        // One more distinct page evicts exactly one entry.
+        tlb.install(0x8000_0000, Pte::new(0x1000, Pte::V | Pte::R), 0);
+        prop_assert_eq!(tlb.occupancy(), n);
+    }
+}

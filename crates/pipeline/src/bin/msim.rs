@@ -1,0 +1,114 @@
+//! `msim` — run a flat binary image on the pipelined core.
+//!
+//! ```text
+//! msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf]
+//! ```
+//!
+//! Runs the baseline (non-Metal) core with a console at 0xF0000000 and
+//! a timer at 0xF0000100. Exits with the guest's `ebreak` code.
+
+use metal_mem::devices::{map, Console, Timer};
+use metal_pipeline::{Core, CoreConfig, HaltReason, NoHooks};
+use std::process::ExitCode;
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut base = 0u32;
+    let mut entry: Option<u32> = None;
+    let mut max_cycles = 100_000_000u64;
+    let mut perf = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--base" => match args.next().and_then(|v| parse_num(&v)) {
+                Some(v) => base = v as u32,
+                None => return usage("bad --base"),
+            },
+            "--entry" => match args.next().and_then(|v| parse_num(&v)) {
+                Some(v) => entry = Some(v as u32),
+                None => return usage("bad --entry"),
+            },
+            "--max-cycles" => match args.next().and_then(|v| parse_num(&v)) {
+                Some(v) => max_cycles = v,
+                None => return usage("bad --max-cycles"),
+            },
+            "--perf" => perf = true,
+            "-h" | "--help" => return usage(""),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_owned());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(input) = input else {
+        return usage("no input image");
+    };
+    let image = match std::fs::read(&input) {
+        Ok(image) => image,
+        Err(e) => {
+            eprintln!("msim: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut core = Core::new(CoreConfig::default(), NoHooks);
+    let (console, out) = Console::new();
+    core.state
+        .bus
+        .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
+    core.state
+        .bus
+        .attach(map::TIMER_BASE, map::WINDOW_LEN, Box::new(Timer::new()));
+    core.load_segments([(base, image.as_slice())], entry.unwrap_or(base));
+    let halt = core.run(max_cycles);
+    let bytes = out.lock().clone();
+    if !bytes.is_empty() {
+        print!("{}", String::from_utf8_lossy(&bytes));
+    }
+    if perf {
+        let p = &core.state.perf;
+        eprintln!(
+            "cycles {} instret {} CPI {:.2} | stalls: fetch {} mem {} loaduse {} flush {}",
+            p.cycles,
+            p.instret,
+            p.cycles as f64 / p.instret.max(1) as f64,
+            p.fetch_stall,
+            p.mem_stall,
+            p.loaduse_stall,
+            p.flush_cycles
+        );
+    }
+    match halt {
+        Some(HaltReason::Ebreak { code }) => {
+            eprintln!("msim: ebreak with code {code}");
+            ExitCode::from((code & 0xFF) as u8)
+        }
+        Some(HaltReason::Fatal(msg)) => {
+            eprintln!("msim: fatal: {msg}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("msim: cycle limit ({max_cycles}) reached");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("msim: {err}");
+    }
+    eprintln!("usage: msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,400 @@
+//! Functional reference interpreter (instruction-set simulator).
+//!
+//! Executes one instruction per step with no pipeline timing. It shares
+//! [`MachineState`] and the [`Hooks`] interface with the pipelined core,
+//! so the two can run the same program side by side; the differential
+//! property tests assert architectural-state equality.
+
+use crate::hooks::{DecodeOutcome, Hooks, NoHooks, TrapDisposition, TrapEvent};
+use crate::state::{CoreConfig, HaltReason, MachineState};
+use crate::trap::TrapCause;
+use metal_isa::insn::{CsrOp, CsrSrc, Insn};
+use metal_isa::reg::Reg;
+use metal_isa::{csr, decode};
+
+/// The reference interpreter.
+pub struct Interp<H: Hooks = NoHooks> {
+    /// Shared machine state.
+    pub state: MachineState,
+    /// Extension hooks.
+    pub hooks: H,
+    /// Architectural PC.
+    pub pc: u32,
+}
+
+impl<H: Hooks> Interp<H> {
+    /// Builds an interpreter with the given configuration and hooks.
+    #[must_use]
+    pub fn new(config: CoreConfig, hooks: H) -> Interp<H> {
+        Interp {
+            state: MachineState::new(&config),
+            hooks,
+            pc: config.reset_pc,
+        }
+    }
+
+    /// Loads program segments into RAM and sets the PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment does not fit in RAM.
+    pub fn load_segments<'a>(
+        &mut self,
+        segments: impl IntoIterator<Item = (u32, &'a [u8])>,
+        entry: u32,
+    ) {
+        for (base, data) in segments {
+            self.state
+                .bus
+                .ram
+                .load(base, data)
+                .unwrap_or_else(|e| panic!("program does not fit in RAM: {e}"));
+        }
+        self.state.halted = None;
+        self.pc = entry;
+    }
+
+    fn handle_trap(&mut self, cause: TrapCause, tval: u32, pc: u32) {
+        if cause.is_interrupt() {
+            self.state.perf.interrupts += 1;
+        } else {
+            self.state.perf.exceptions += 1;
+        }
+        let event = TrapEvent { cause, tval, pc };
+        match self.hooks.on_trap(&mut self.state, &event) {
+            TrapDisposition::Default => {
+                self.state.csr.mepc = pc;
+                self.state.csr.mcause = cause.code();
+                self.state.csr.mtval = tval;
+                let mie = self.state.csr.mstatus & csr::MSTATUS_MIE != 0;
+                self.state.csr.mstatus &= !(csr::MSTATUS_MIE | csr::MSTATUS_MPIE);
+                if mie {
+                    self.state.csr.mstatus |= csr::MSTATUS_MPIE;
+                }
+                self.pc = self.state.csr.mtvec;
+            }
+            TrapDisposition::Redirect { target, .. } => {
+                self.state.perf.metal_entries += 1;
+                self.pc = target;
+            }
+            TrapDisposition::Fatal => {
+                self.state.halted = Some(HaltReason::Fatal(format!(
+                    "unhandled trap {cause} at pc {pc:#010x} (tval {tval:#010x})"
+                )));
+            }
+        }
+    }
+
+    /// Lowest pending, enabled interrupt line, if delivery is allowed.
+    fn pending_interrupt(&self) -> Option<u8> {
+        let pending = self.state.perf.mip_snapshot & self.state.csr.mie;
+        if pending == 0 || self.state.csr.mstatus & csr::MSTATUS_MIE == 0 {
+            return None;
+        }
+        if !self.hooks.interrupts_allowed(&self.state) {
+            return None;
+        }
+        Some(pending.trailing_zeros() as u8)
+    }
+
+    /// Executes one instruction (or takes one trap).
+    pub fn step(&mut self) {
+        if self.state.halted.is_some() {
+            return;
+        }
+        // One "cycle" per step so devices make progress.
+        self.state.perf.cycles += 1;
+        let cycle = self.state.perf.cycles;
+        self.state.perf.mip_snapshot = self.state.bus.tick(cycle);
+
+        if let Some(line) = self.pending_interrupt() {
+            self.handle_trap(TrapCause::Interrupt(line), 0, self.pc);
+            return;
+        }
+
+        let pc = self.pc;
+        let word = match self.hooks.fetch(&mut self.state, pc) {
+            Some(Ok((word, _))) => word,
+            Some(Err(trap)) => {
+                self.handle_trap(trap.cause, trap.tval, pc);
+                return;
+            }
+            None => match self.state.fetch(pc) {
+                Ok((word, _)) => word,
+                Err(trap) => {
+                    self.handle_trap(trap.cause, trap.tval, pc);
+                    return;
+                }
+            },
+        };
+        let insn = match decode(word) {
+            Ok(insn) => insn,
+            Err(_) => {
+                self.handle_trap(TrapCause::IllegalInstruction, word, pc);
+                return;
+            }
+        };
+        // Chain decode-hook replacements exactly like the pipeline does
+        // (an mexit's return stream may begin with another menter).
+        let mut cur_pc = pc;
+        let mut cur_word = word;
+        let mut cur_insn = insn;
+        for _ in 0..16 {
+            match self
+                .hooks
+                .decode(&mut self.state, cur_pc, cur_word, &cur_insn)
+            {
+                DecodeOutcome::Pass => {
+                    self.exec(cur_pc, cur_word, cur_insn);
+                    return;
+                }
+                DecodeOutcome::Replace {
+                    word: word2,
+                    pc: pc2,
+                    ..
+                } => {
+                    self.state.perf.metal_entries += 1;
+                    match decode(word2) {
+                        Ok(insn2) => {
+                            cur_pc = pc2;
+                            cur_word = word2;
+                            cur_insn = insn2;
+                        }
+                        Err(_) => {
+                            self.handle_trap(TrapCause::IllegalInstruction, word2, pc2);
+                            return;
+                        }
+                    }
+                }
+                DecodeOutcome::Fault {
+                    trap,
+                    pc: override_pc,
+                } => {
+                    self.handle_trap(trap.cause, trap.tval, override_pc.unwrap_or(cur_pc));
+                    return;
+                }
+            }
+        }
+        self.handle_trap(TrapCause::IllegalInstruction, cur_word, cur_pc);
+    }
+
+    fn exec(&mut self, pc: u32, word: u32, insn: Insn) {
+        let regs = &self.state.regs;
+        let fallthrough = pc.wrapping_add(4);
+        match insn {
+            Insn::Lui { rd, imm20 } => {
+                self.retire_wb(pc, insn, rd, imm20 << 12, fallthrough);
+            }
+            Insn::Auipc { rd, imm20 } => {
+                self.retire_wb(pc, insn, rd, pc.wrapping_add(imm20 << 12), fallthrough);
+            }
+            Insn::AluImm { op, rd, rs1, imm } => {
+                let v = op.eval(regs.get(rs1), imm as u32);
+                self.retire_wb(pc, insn, rd, v, fallthrough);
+            }
+            Insn::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(regs.get(rs1), regs.get(rs2));
+                self.retire_wb(pc, insn, rd, v, fallthrough);
+            }
+            Insn::MulDiv { op, rd, rs1, rs2 } => {
+                let v = op.eval(regs.get(rs1), regs.get(rs2));
+                self.retire_wb(pc, insn, rd, v, fallthrough);
+            }
+            Insn::Jal { rd, offset } => {
+                let target = pc.wrapping_add(offset as u32);
+                self.retire_wb(pc, insn, rd, fallthrough, target);
+            }
+            Insn::Jalr { rd, rs1, offset } => {
+                let target = regs.get(rs1).wrapping_add(offset as u32) & !1;
+                self.retire_wb(pc, insn, rd, fallthrough, target);
+            }
+            Insn::Branch {
+                cond, rs1, rs2, offset,
+            } => {
+                let taken = cond.eval(regs.get(rs1), regs.get(rs2));
+                let next = if taken {
+                    pc.wrapping_add(offset as u32)
+                } else {
+                    fallthrough
+                };
+                self.retire(pc, insn, next);
+            }
+            Insn::Load { op, rd, rs1, offset } => {
+                let addr = regs.get(rs1).wrapping_add(offset as u32);
+                match self.state.load(addr, op) {
+                    Ok((v, _)) => self.retire_wb(pc, insn, rd, v, fallthrough),
+                    Err(trap) => self.handle_trap(trap.cause, trap.tval, pc),
+                }
+            }
+            Insn::Store {
+                op, rs2, rs1, offset,
+            } => {
+                let addr = regs.get(rs1).wrapping_add(offset as u32);
+                let value = regs.get(rs2);
+                match self.state.store(addr, op, value) {
+                    Ok(_) => self.retire(pc, insn, fallthrough),
+                    Err(trap) => self.handle_trap(trap.cause, trap.tval, pc),
+                }
+            }
+            Insn::Csr { op, rd, csr: addr, src } => {
+                let Some(old) = self.state.csr.read(addr, &self.state.perf) else {
+                    self.handle_trap(TrapCause::IllegalInstruction, word, pc);
+                    return;
+                };
+                let operand = match src {
+                    CsrSrc::Reg(r) => self.state.regs.get(r),
+                    CsrSrc::Imm(i) => u32::from(i),
+                };
+                let new = match op {
+                    CsrOp::Rw => Some(operand),
+                    CsrOp::Rs => (operand != 0).then_some(old | operand),
+                    CsrOp::Rc => (operand != 0).then_some(old & !operand),
+                };
+                if let Some(new) = new {
+                    if !self.state.csr.write(addr, new) {
+                        self.handle_trap(TrapCause::IllegalInstruction, word, pc);
+                        return;
+                    }
+                }
+                self.retire_wb(pc, insn, rd, old, fallthrough);
+            }
+            Insn::Ecall => self.handle_trap(TrapCause::Ecall, 0, pc),
+            Insn::Ebreak => {
+                self.state.halted = Some(HaltReason::Ebreak {
+                    code: self.state.regs.get(Reg::A0),
+                });
+            }
+            Insn::Mret => {
+                let mpie = self.state.csr.mstatus & csr::MSTATUS_MPIE != 0;
+                self.state.csr.mstatus |= csr::MSTATUS_MPIE;
+                self.state.csr.mstatus &= !csr::MSTATUS_MIE;
+                if mpie {
+                    self.state.csr.mstatus |= csr::MSTATUS_MIE;
+                }
+                let target = self.state.csr.mepc;
+                self.retire(pc, insn, target);
+            }
+            Insn::Wfi | Insn::Fence => {
+                // The interpreter has no pipeline to idle; WFI is a NOP
+                // (excluded from differential tests).
+                self.retire(pc, insn, fallthrough);
+            }
+            // Metal instructions: delegate to the hooks (illegal under
+            // NoHooks).
+            other => {
+                let [s1, s2] = other.sources();
+                let rs1 = s1.map_or(0, |r| self.state.regs.get(r));
+                let rs2 = s2.map_or(0, |r| self.state.regs.get(r));
+                match self
+                    .hooks
+                    .exec_custom(&mut self.state, pc, word, &other, rs1, rs2)
+                {
+                    Ok(result) => {
+                        if let (Some(rd), Some(v)) = (other.dest(), result.writeback) {
+                            self.state.regs.set(rd, v);
+                        }
+                        self.retire(pc, other, fallthrough);
+                    }
+                    Err(trap) => self.handle_trap(trap.cause, trap.tval, pc),
+                }
+            }
+        }
+    }
+
+    fn retire_wb(&mut self, pc: u32, insn: Insn, rd: Reg, value: u32, next: u32) {
+        self.state.regs.set(rd, value);
+        self.retire(pc, insn, next);
+    }
+
+    fn retire(&mut self, pc: u32, insn: Insn, next: u32) {
+        self.state.perf.instret += 1;
+        self.hooks.on_retire(&mut self.state, pc, &insn);
+        self.pc = next;
+    }
+
+    /// Steps until halt or `max_steps` instructions/traps.
+    pub fn run(&mut self, max_steps: u64) -> Option<HaltReason> {
+        for _ in 0..max_steps {
+            if self.state.halted.is_some() {
+                break;
+            }
+            self.step();
+        }
+        self.state.halted.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_isa::encode;
+    use metal_isa::insn::AluOp;
+
+    fn program(words: &[u32]) -> Interp {
+        let mut interp = Interp::new(CoreConfig::default(), NoHooks);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        interp.load_segments([(0u32, bytes.as_slice())], 0);
+        interp
+    }
+
+    #[test]
+    fn add_loop_halts() {
+        // li a0, 0; li a1, 10; loop: addi a0, a0, 1; bne a0, a1, loop; ebreak
+        let words = [
+            encode(&Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::ZERO,
+                imm: 0,
+            }),
+            encode(&Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A1,
+                rs1: Reg::ZERO,
+                imm: 10,
+            }),
+            encode(&Insn::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+            }),
+            encode(&Insn::Branch {
+                cond: metal_isa::insn::Cond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -4,
+            }),
+            encode(&Insn::Ebreak),
+        ];
+        let mut interp = program(&words);
+        let halt = interp.run(1000);
+        assert_eq!(halt, Some(HaltReason::Ebreak { code: 10 }));
+        assert_eq!(interp.state.regs.get(Reg::A0), 10);
+    }
+
+    #[test]
+    fn ecall_vectors_to_mtvec() {
+        let words = [
+            encode(&Insn::Ecall),
+            encode(&Insn::NOP),
+            // handler at 0x8:
+            encode(&Insn::Ebreak),
+        ];
+        let mut interp = program(&words);
+        interp.state.csr.mtvec = 8;
+        let halt = interp.run(10);
+        assert_eq!(halt, Some(HaltReason::Ebreak { code: 0 }));
+        assert_eq!(interp.state.csr.mepc, 0);
+        assert_eq!(interp.state.csr.mcause, TrapCause::Ecall.code());
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut interp = program(&[0xFFFF_FFFF, 0, encode(&Insn::Ebreak)]);
+        interp.state.csr.mtvec = 8;
+        interp.run(10);
+        assert_eq!(interp.state.csr.mcause, TrapCause::IllegalInstruction.code());
+        assert_eq!(interp.state.csr.mtval, 0xFFFF_FFFF);
+    }
+}

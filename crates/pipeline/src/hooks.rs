@@ -1,0 +1,187 @@
+//! The extension-hook interface between the pipeline and an ISA
+//! extension.
+//!
+//! The paper's thesis is that the processor should expose its fundamental
+//! building blocks and let software build the rest. This trait is the
+//! simulator's rendering of that boundary: the pipeline implements the
+//! base ISA and calls out at exactly the points where Metal attaches —
+//! instruction fetch (MRAM), decode (menter/mexit replacement and
+//! interception), execute (the Metal instructions), and trap delivery
+//! (delegation to mroutines).
+
+use crate::state::MachineState;
+use crate::trap::{Trap, TrapCause};
+use metal_isa::Insn;
+
+/// What the decode-stage hook decided about an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Let the instruction proceed normally.
+    Pass,
+    /// Replace the instruction in the decode slot (the `menter`/`mexit`
+    /// fast path, paper §2.2, and instruction interception, §2.3).
+    Replace {
+        /// The instruction word now occupying the decode slot.
+        word: u32,
+        /// The PC to attribute to the replacement (its own address).
+        pc: u32,
+        /// Where fetch continues after the replacement.
+        next_fetch: u32,
+        /// Extra decode-stall cycles (0 for MRAM-resident mroutines;
+        /// the memory round trip for PALcode-style dispatch).
+        stall: u32,
+    },
+    /// Raise a trap instead of executing (e.g. a Metal-mode-only
+    /// instruction in normal mode). `pc` overrides the PC attributed to
+    /// the trap (used when an `mexit` return fetch faults: the fault
+    /// belongs to the return address, not the mroutine).
+    Fault {
+        /// The trap to raise.
+        trap: Trap,
+        /// PC override; `None` = the decoded instruction's own PC.
+        pc: Option<u32>,
+    },
+}
+
+/// A trap event offered to the extension before default handling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrapEvent {
+    /// The cause.
+    pub cause: TrapCause,
+    /// The trap value (faulting address / instruction word).
+    pub tval: u32,
+    /// PC of the faulting (or interrupted) instruction.
+    pub pc: u32,
+}
+
+/// How the extension wants a trap handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapDisposition {
+    /// Use the baseline path: CSRs + `mtvec` vector.
+    Default,
+    /// Redirect to an extension-provided handler (an mroutine).
+    Redirect {
+        /// New PC.
+        target: u32,
+        /// Extra cycles for the dispatch (0 when the handler comes from
+        /// MRAM).
+        stall: u32,
+    },
+    /// The machine cannot continue (e.g. a double fault in Metal mode).
+    Fatal,
+}
+
+/// Result of executing a custom instruction: optional writeback value and
+/// extra execute-stage cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CustomExec {
+    /// Value written to `rd`, if the instruction produces one.
+    pub writeback: Option<u32>,
+    /// Extra EX cycles beyond the base 1.
+    pub extra_cycles: u32,
+}
+
+/// Extension hooks. The baseline core uses [`NoHooks`]; `metal-core`
+/// provides the Metal implementation.
+pub trait Hooks {
+    /// Overrides instruction fetch at `pc`. Returning `Some((word,
+    /// latency))` bypasses translation, the I-cache, and the bus — this
+    /// is how MRAM-resident mroutines are fetched. `Err` faults the
+    /// fetch.
+    fn fetch(&mut self, state: &mut MachineState, pc: u32) -> Option<Result<(u32, u32), Trap>> {
+        let _ = (state, pc);
+        None
+    }
+
+    /// True if [`Hooks::decode`] would do more than `Pass` for this
+    /// instruction (mode transitions, interception). The pipeline holds
+    /// such instructions in ID until no older in-flight instruction can
+    /// still fault, keeping exceptions precise across decode-stage side
+    /// effects. Must be side-effect free.
+    fn decode_is_sensitive(&self, state: &MachineState, word: u32, insn: &Insn) -> bool {
+        let _ = (state, word, insn);
+        false
+    }
+
+    /// Inspects an instruction in the decode stage.
+    fn decode(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+        word: u32,
+        insn: &Insn,
+    ) -> DecodeOutcome {
+        let _ = (state, pc, word, insn);
+        DecodeOutcome::Pass
+    }
+
+    /// Executes a custom (Metal) instruction at the execute stage.
+    fn exec_custom(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+        word: u32,
+        insn: &Insn,
+        rs1: u32,
+        rs2: u32,
+    ) -> Result<CustomExec, Trap> {
+        let _ = (state, pc, insn, rs1, rs2);
+        Err(Trap::illegal(word))
+    }
+
+    /// Offered every trap before baseline handling.
+    fn on_trap(&mut self, state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
+        let _ = (state, event);
+        TrapDisposition::Default
+    }
+
+    /// Whether external interrupts may be delivered right now. Metal
+    /// returns `false` while an mroutine runs (paper §2.1: "Metal
+    /// mroutines are non-interruptible").
+    fn interrupts_allowed(&self, state: &MachineState) -> bool {
+        let _ = state;
+        true
+    }
+
+    /// Called when an instruction retires (tracing/statistics).
+    fn on_retire(&mut self, state: &mut MachineState, pc: u32, insn: &Insn) {
+        let _ = (state, pc, insn);
+    }
+}
+
+/// The baseline core: no extension. All Metal instructions raise
+/// illegal-instruction traps, and traps vector through `mtvec`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{CoreConfig, MachineState};
+
+    #[test]
+    fn nohooks_defaults() {
+        let mut h = NoHooks;
+        let mut m = MachineState::new(&CoreConfig::default());
+        assert!(h.fetch(&mut m, 0).is_none());
+        assert!(h.interrupts_allowed(&m));
+        let insn = Insn::Mexit;
+        assert_eq!(
+            h.decode(&mut m, 0, 0, &insn),
+            DecodeOutcome::Pass
+        );
+        let err = h
+            .exec_custom(&mut m, 0, 0xABCD, &insn, 0, 0)
+            .unwrap_err();
+        assert_eq!(err.cause, TrapCause::IllegalInstruction);
+        assert_eq!(err.tval, 0xABCD);
+        let ev = TrapEvent {
+            cause: TrapCause::Ecall,
+            tval: 0,
+            pc: 0x100,
+        };
+        assert_eq!(h.on_trap(&mut m, &ev), TrapDisposition::Default);
+    }
+}

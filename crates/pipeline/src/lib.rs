@@ -1,0 +1,29 @@
+//! Cycle-level 5-stage pipelined RISC core.
+//!
+//! The paper prototypes Metal "on a 5-stage pipelined RISC processor"
+//! (§2); this crate is that processor as a cycle-level simulator:
+//!
+//! * [`pipeline::Core`] — IF/ID/EX/MEM/WB with forwarding, load-use
+//!   hazards, branch flushes, variable-latency memory, and traps.
+//! * [`func::Interp`] — a functional reference interpreter used for
+//!   differential testing (same [`state::MachineState`], no timing).
+//! * [`hooks::Hooks`] — the extension interface Metal attaches to
+//!   (fetch, decode replacement, custom execute, trap delegation).
+//!
+//! The baseline (non-Metal) processor is `Core<NoHooks>`: Metal
+//! instructions raise illegal-instruction traps and all traps vector
+//! through `mtvec`, exactly the conventional design Metal replaces.
+
+pub mod func;
+pub mod hooks;
+pub mod pipeline;
+pub mod state;
+pub mod trap;
+
+pub use func::Interp;
+pub use hooks::{CustomExec, DecodeOutcome, Hooks, NoHooks, TrapDisposition, TrapEvent};
+pub use pipeline::Core;
+pub use state::{
+    CoreConfig, CsrFile, HaltReason, MachineState, PerfCounters, RegFile, TranslationMode,
+};
+pub use trap::{Trap, TrapCause};

@@ -1,0 +1,550 @@
+//! Architectural and micro-architectural machine state shared by the
+//! pipelined core and the functional reference interpreter.
+
+use crate::trap::{Trap, TrapCause};
+use metal_isa::csr;
+use metal_isa::insn::{LoadOp, StoreOp};
+use metal_isa::reg::Reg;
+use metal_mem::bus::MMIO_BASE;
+use metal_mem::tlb::{AccessKind, TlbFault};
+use metal_mem::walker::{WalkResult, Walker};
+use metal_mem::{Bus, Cache, CacheConfig, MemError, Tlb, TlbConfig};
+
+/// The 32 general-purpose registers with `x0` hard-wired to zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegFile {
+    regs: [u32; 32],
+}
+
+impl RegFile {
+    /// All-zero register file.
+    #[must_use]
+    pub fn new() -> RegFile {
+        RegFile { regs: [0; 32] }
+    }
+
+    /// Reads a register (`x0` is always 0).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `x0` are discarded).
+    #[inline]
+    pub fn set(&mut self, r: Reg, value: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Snapshot of all registers (for differential testing).
+    #[must_use]
+    pub fn snapshot(&self) -> [u32; 32] {
+        self.regs
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile::new()
+    }
+}
+
+/// The baseline core's control and status registers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrFile {
+    /// Machine status (MIE/MPIE bits).
+    pub mstatus: u32,
+    /// Trap vector base.
+    pub mtvec: u32,
+    /// Trap scratch.
+    pub mscratch: u32,
+    /// Exception PC.
+    pub mepc: u32,
+    /// Trap cause.
+    pub mcause: u32,
+    /// Trap value.
+    pub mtval: u32,
+    /// Interrupt enable bitmap.
+    pub mie: u32,
+}
+
+impl CsrFile {
+    /// Reads a CSR (`None` = unimplemented, an illegal-instruction
+    /// condition). `cycle`/`instret` come from the performance counters.
+    #[must_use]
+    pub fn read(&self, addr: u16, perf: &PerfCounters) -> Option<u32> {
+        Some(match addr {
+            csr::MSTATUS => self.mstatus,
+            csr::MTVEC => self.mtvec,
+            csr::MSCRATCH => self.mscratch,
+            csr::MEPC => self.mepc,
+            csr::MCAUSE => self.mcause,
+            csr::MTVAL => self.mtval,
+            csr::MIE => self.mie,
+            csr::MIP => perf.mip_snapshot,
+            csr::CYCLE => perf.cycles as u32,
+            csr::CYCLEH => (perf.cycles >> 32) as u32,
+            csr::INSTRET => perf.instret as u32,
+            csr::INSTRETH => (perf.instret >> 32) as u32,
+            _ => return None,
+        })
+    }
+
+    /// Writes a CSR; returns false for read-only counters and unknown
+    /// addresses (an illegal-instruction condition).
+    pub fn write(&mut self, addr: u16, value: u32) -> bool {
+        match addr {
+            csr::MSTATUS => self.mstatus = value,
+            csr::MTVEC => self.mtvec = value & !0x3,
+            csr::MSCRATCH => self.mscratch = value,
+            csr::MEPC => self.mepc = value & !0x1,
+            csr::MCAUSE => self.mcause = value,
+            csr::MTVAL => self.mtval = value,
+            csr::MIE => self.mie = value,
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// How data and fetch addresses are translated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TranslationMode {
+    /// Physical addressing (va == pa).
+    Bare,
+    /// Software-managed TLB: a miss is a page fault delivered to software
+    /// (an mroutine under Metal, the kernel trap handler otherwise).
+    SoftTlb,
+    /// Hardware walker: a TLB miss triggers a radix-tree walk; only a
+    /// failed walk or permission violation faults.
+    HwWalker {
+        /// Physical base of the root page directory.
+        root: u32,
+    },
+}
+
+/// Why the machine stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Guest executed `ebreak`; the exit code convention is `a0`.
+    Ebreak {
+        /// Value of `a0` at the breakpoint.
+        code: u32,
+    },
+    /// An unrecoverable situation (e.g. a fault inside an mroutine).
+    Fatal(String),
+}
+
+/// Micro-architectural event counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Cycles lost to instruction-fetch latency beyond 1.
+    pub fetch_stall: u64,
+    /// Cycles lost to data-access latency beyond 1.
+    pub mem_stall: u64,
+    /// Cycles lost to load-use hazards.
+    pub loaduse_stall: u64,
+    /// Cycles lost to control-flow flushes (branches, jumps, mret).
+    pub flush_cycles: u64,
+    /// Cycles lost to multi-cycle execute (mul/div).
+    pub ex_stall: u64,
+    /// Exceptions taken.
+    pub exceptions: u64,
+    /// Interrupts taken.
+    pub interrupts: u64,
+    /// Metal-mode entries (menter, intercepts, delegated traps).
+    pub metal_entries: u64,
+    /// TLB refills performed by the hardware walker.
+    pub hw_refills: u64,
+    /// Latest interrupt-pending bitmap (for the `mip` CSR).
+    pub mip_snapshot: u32,
+}
+
+/// Timing and translation configuration of a core.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Instruction cache geometry/latency.
+    pub icache: CacheConfig,
+    /// Data cache geometry/latency.
+    pub dcache: CacheConfig,
+    /// TLB geometry.
+    pub tlb: TlbConfig,
+    /// Extra EX cycles for `mul*`.
+    pub mul_latency: u32,
+    /// Extra EX cycles for `div*`/`rem*`.
+    pub div_latency: u32,
+    /// Fixed latency of an MMIO data access.
+    pub mmio_latency: u32,
+    /// Latency of an uncached physical access (`mpld`/`mpst`).
+    pub phys_latency: u32,
+    /// Translation mode at reset.
+    pub translation: TranslationMode,
+    /// PC at reset.
+    pub reset_pc: u32,
+    /// RAM size in bytes.
+    pub ram_bytes: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            icache: CacheConfig::default(),
+            dcache: CacheConfig::default(),
+            tlb: TlbConfig::default(),
+            mul_latency: 2,
+            div_latency: 16,
+            mmio_latency: 3,
+            phys_latency: 6,
+            translation: TranslationMode::Bare,
+            reset_pc: 0,
+            ram_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Everything the pipeline, the reference interpreter, and the extension
+/// hooks share: registers, CSRs, memory system, translation state, and
+/// performance counters.
+pub struct MachineState {
+    /// General-purpose registers.
+    pub regs: RegFile,
+    /// Baseline CSRs.
+    pub csr: CsrFile,
+    /// The physical address space.
+    pub bus: Bus,
+    /// The software-managed TLB.
+    pub tlb: Tlb,
+    /// Instruction cache (timing only).
+    pub icache: Cache,
+    /// Data cache (timing only).
+    pub dcache: Cache,
+    /// Active translation mode.
+    pub translation: TranslationMode,
+    /// Current address-space ID.
+    pub asid: u16,
+    /// Performance counters.
+    pub perf: PerfCounters,
+    /// Set when the machine has stopped.
+    pub halted: Option<HaltReason>,
+    /// Fixed MMIO access latency.
+    pub mmio_latency: u32,
+    /// Fixed uncached physical access latency.
+    pub phys_latency: u32,
+}
+
+impl MachineState {
+    /// Builds machine state from a core configuration.
+    #[must_use]
+    pub fn new(config: &CoreConfig) -> MachineState {
+        MachineState {
+            regs: RegFile::new(),
+            csr: CsrFile::default(),
+            bus: Bus::new(config.ram_bytes),
+            tlb: Tlb::new(config.tlb),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            translation: config.translation,
+            asid: 0,
+            perf: PerfCounters::default(),
+            halted: None,
+            mmio_latency: config.mmio_latency,
+            phys_latency: config.phys_latency,
+        }
+    }
+
+    fn fault_for(kind: AccessKind, fault: TlbFault, va: u32) -> Trap {
+        let cause = match (kind, fault) {
+            (AccessKind::Execute, _) => TrapCause::InsnPageFault,
+            (AccessKind::Read, TlbFault::KeyViolation) => TrapCause::LoadKeyViolation,
+            (AccessKind::Read, _) => TrapCause::LoadPageFault,
+            (AccessKind::Write, TlbFault::KeyViolation) => TrapCause::StoreKeyViolation,
+            (AccessKind::Write, _) => TrapCause::StorePageFault,
+        };
+        Trap::new(cause, va)
+    }
+
+    /// Translates a virtual address. Returns the physical address and any
+    /// extra cycles spent (hardware walker memory accesses).
+    pub fn translate(&mut self, va: u32, kind: AccessKind) -> Result<(u32, u32), Trap> {
+        match self.translation {
+            TranslationMode::Bare => Ok((va, 0)),
+            TranslationMode::SoftTlb => match self.tlb.translate(va, self.asid, kind) {
+                Ok(pa) => Ok((pa, 0)),
+                Err(fault) => Err(Self::fault_for(kind, fault, va)),
+            },
+            TranslationMode::HwWalker { root } => {
+                match self.tlb.translate(va, self.asid, kind) {
+                    Ok(pa) => Ok((pa, 0)),
+                    Err(TlbFault::Miss) => {
+                        let walker = Walker::new(root);
+                        let (result, accesses) = walker
+                            .walk(&self.bus.ram, va)
+                            .map_err(|e| Self::mem_trap(kind, e))?;
+                        // Each walk access costs a memory round trip.
+                        let walk_cycles = accesses * self.dcache.config().miss_penalty;
+                        match result {
+                            WalkResult::Mapped(pte) => {
+                                self.tlb.install(va, pte, self.asid);
+                                self.perf.hw_refills += 1;
+                                match self.tlb.translate(va, self.asid, kind) {
+                                    Ok(pa) => Ok((pa, walk_cycles)),
+                                    Err(fault) => Err(Self::fault_for(kind, fault, va)),
+                                }
+                            }
+                            WalkResult::NotMapped { .. } => {
+                                Err(Self::fault_for(kind, TlbFault::Miss, va))
+                            }
+                        }
+                    }
+                    Err(fault) => Err(Self::fault_for(kind, fault, va)),
+                }
+            }
+        }
+    }
+
+    fn mem_trap(kind: AccessKind, e: MemError) -> Trap {
+        let addr = e.addr();
+        let cause = match (kind, e) {
+            (AccessKind::Execute, MemError::Misaligned { .. }) => TrapCause::InsnMisaligned,
+            (AccessKind::Execute, _) => TrapCause::InsnAccessFault,
+            (AccessKind::Read, MemError::Misaligned { .. }) => TrapCause::LoadMisaligned,
+            (AccessKind::Read, _) => TrapCause::LoadAccessFault,
+            (AccessKind::Write, MemError::Misaligned { .. }) => TrapCause::StoreMisaligned,
+            (AccessKind::Write, _) => TrapCause::StoreAccessFault,
+        };
+        Trap::new(cause, addr)
+    }
+
+    /// Fetches an instruction word. Returns the word and the fetch
+    /// latency in cycles (icache hit = 1).
+    pub fn fetch(&mut self, pc: u32) -> Result<(u32, u32), Trap> {
+        if !pc.is_multiple_of(4) {
+            return Err(Trap::new(TrapCause::InsnMisaligned, pc));
+        }
+        let (pa, walk_cycles) = self.translate(pc, AccessKind::Execute)?;
+        if pa >= MMIO_BASE {
+            return Err(Trap::new(TrapCause::InsnAccessFault, pc));
+        }
+        let word = self
+            .bus
+            .read_u32(pa)
+            .map_err(|e| Self::mem_trap(AccessKind::Execute, e))?;
+        let latency = self.icache.access(pa);
+        Ok((word, latency + walk_cycles))
+    }
+
+    /// Performs a data load. Returns the (sign/zero-extended) value and
+    /// the access latency in cycles.
+    pub fn load(&mut self, va: u32, op: LoadOp) -> Result<(u32, u32), Trap> {
+        if !va.is_multiple_of(op.bytes()) {
+            return Err(Trap::new(TrapCause::LoadMisaligned, va));
+        }
+        let (pa, walk_cycles) = self.translate(va, AccessKind::Read)?;
+        let raw = match op {
+            LoadOp::Lb => self.bus.read_u8(pa).map(|b| b as i8 as i32 as u32),
+            LoadOp::Lbu => self.bus.read_u8(pa).map(u32::from),
+            LoadOp::Lh => self.bus.read_u16(pa).map(|h| h as i16 as i32 as u32),
+            LoadOp::Lhu => self.bus.read_u16(pa).map(u32::from),
+            LoadOp::Lw => self.bus.read_u32(pa),
+        }
+        .map_err(|e| Self::mem_trap(AccessKind::Read, e))?;
+        let latency = if pa >= MMIO_BASE {
+            self.mmio_latency
+        } else {
+            self.dcache.access(pa)
+        };
+        Ok((raw, latency + walk_cycles))
+    }
+
+    /// Performs a data store. Returns the access latency in cycles.
+    pub fn store(&mut self, va: u32, op: StoreOp, value: u32) -> Result<u32, Trap> {
+        if !va.is_multiple_of(op.bytes()) {
+            return Err(Trap::new(TrapCause::StoreMisaligned, va));
+        }
+        let (pa, walk_cycles) = self.translate(va, AccessKind::Write)?;
+        match op {
+            StoreOp::Sb => self.bus.write_u8(pa, value as u8),
+            StoreOp::Sh => self.bus.write_u16(pa, value as u16),
+            StoreOp::Sw => self.bus.write_u32(pa, value),
+        }
+        .map_err(|e| Self::mem_trap(AccessKind::Write, e))?;
+        let latency = if pa >= MMIO_BASE {
+            self.mmio_latency
+        } else {
+            self.dcache.access(pa)
+        };
+        Ok(latency + walk_cycles)
+    }
+
+    /// Physical (MMU-bypassing) word load for `mpld`. Never allocates in
+    /// the data cache (paper §2: MRAM/physical paths avoid cache side
+    /// effects); costs [`MachineState::phys_latency`].
+    pub fn phys_load(&mut self, pa: u32) -> Result<(u32, u32), Trap> {
+        let value = self
+            .bus
+            .read_u32(pa)
+            .map_err(|e| Self::mem_trap(AccessKind::Read, e))?;
+        Ok((value, self.phys_latency))
+    }
+
+    /// Physical word store for `mpst`.
+    pub fn phys_store(&mut self, pa: u32, value: u32) -> Result<u32, Trap> {
+        self.bus
+            .write_u32(pa, value)
+            .map_err(|e| Self::mem_trap(AccessKind::Write, e))?;
+        Ok(self.phys_latency)
+    }
+}
+
+impl std::fmt::Debug for MachineState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineState")
+            .field("asid", &self.asid)
+            .field("translation", &self.translation)
+            .field("halted", &self.halted)
+            .field("cycles", &self.perf.cycles)
+            .field("instret", &self.perf.instret)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_mem::tlb::Pte;
+
+    fn machine() -> MachineState {
+        MachineState::new(&CoreConfig {
+            ram_bytes: 1 << 20,
+            ..CoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn regfile_x0_pinned() {
+        let mut r = RegFile::new();
+        r.set(Reg::ZERO, 55);
+        assert_eq!(r.get(Reg::ZERO), 0);
+        r.set(Reg::A0, 55);
+        assert_eq!(r.get(Reg::A0), 55);
+    }
+
+    #[test]
+    fn csr_read_write() {
+        let mut c = CsrFile::default();
+        let perf = PerfCounters {
+            cycles: 0x1_0000_0007,
+            ..PerfCounters::default()
+        };
+        assert!(c.write(csr::MTVEC, 0x1003));
+        assert_eq!(c.read(csr::MTVEC, &perf), Some(0x1000), "low bits masked");
+        assert_eq!(c.read(csr::CYCLE, &perf), Some(7));
+        assert_eq!(c.read(csr::CYCLEH, &perf), Some(1));
+        assert!(!c.write(csr::CYCLE, 0), "counters are read-only");
+        assert!(c.read(0x123, &perf).is_none());
+    }
+
+    #[test]
+    fn bare_translation_passthrough() {
+        let mut m = machine();
+        m.bus.ram.write_u32(0x100, 0xABCD).unwrap();
+        let (v, _) = m.load(0x100, LoadOp::Lw).unwrap();
+        assert_eq!(v, 0xABCD);
+    }
+
+    #[test]
+    fn load_sign_extension() {
+        let mut m = machine();
+        m.bus.ram.write_u32(0x100, 0xFFFF_FF80).unwrap();
+        assert_eq!(m.load(0x100, LoadOp::Lb).unwrap().0, 0xFFFF_FF80);
+        assert_eq!(m.load(0x100, LoadOp::Lbu).unwrap().0, 0x80);
+        assert_eq!(m.load(0x100, LoadOp::Lh).unwrap().0, 0xFFFF_FF80);
+        assert_eq!(m.load(0x100, LoadOp::Lhu).unwrap().0, 0xFF80);
+    }
+
+    #[test]
+    fn soft_tlb_miss_is_page_fault() {
+        let mut m = machine();
+        m.translation = TranslationMode::SoftTlb;
+        let err = m.load(0x5000, LoadOp::Lw).unwrap_err();
+        assert_eq!(err.cause, TrapCause::LoadPageFault);
+        assert_eq!(err.tval, 0x5000);
+        // Install a mapping (page-granular) and retry through it.
+        m.tlb
+            .install(0x5000, Pte::new(0x1000, Pte::V | Pte::R), 0);
+        m.bus.ram.write_u32(0x1100, 99).unwrap();
+        assert_eq!(m.load(0x5100, LoadOp::Lw).unwrap().0, 99);
+        // Store to a read-only page faults differently.
+        let err = m.store(0x5000, StoreOp::Sw, 0).unwrap_err();
+        assert_eq!(err.cause, TrapCause::StorePageFault);
+    }
+
+    #[test]
+    fn hw_walker_refills() {
+        let mut m = machine();
+        // Build a page table rooted at 0x10000 mapping va 0x40000 -> pa 0x200.
+        let root = 0x1_0000;
+        let walker = Walker::new(root);
+        let mut next = 0x2_0000u32;
+        let mut alloc = || {
+            let p = next;
+            next += 0x1000;
+            p
+        };
+        walker
+            .map(&mut m.bus.ram, 0x4_0000, 0x0, Pte::R | Pte::W, &mut alloc)
+            .unwrap();
+        m.bus.ram.write_u32(0x0, 0x1234).unwrap();
+        m.translation = TranslationMode::HwWalker { root };
+        let (v, cycles) = m.load(0x4_0000, LoadOp::Lw).unwrap();
+        assert_eq!(v, 0x1234);
+        assert!(cycles > 1, "walk charged extra cycles, got {cycles}");
+        assert_eq!(m.perf.hw_refills, 1);
+        // Second access hits the TLB: cheap.
+        let (_, cycles2) = m.load(0x4_0000, LoadOp::Lw).unwrap();
+        assert!(cycles2 < cycles);
+        assert_eq!(m.perf.hw_refills, 1);
+    }
+
+    #[test]
+    fn misaligned_accesses_trap() {
+        let mut m = machine();
+        assert_eq!(
+            m.load(0x101, LoadOp::Lw).unwrap_err().cause,
+            TrapCause::LoadMisaligned
+        );
+        assert_eq!(
+            m.store(0x102, StoreOp::Sw, 0).unwrap_err().cause,
+            TrapCause::StoreMisaligned
+        );
+        assert_eq!(
+            m.fetch(0x2).unwrap_err().cause,
+            TrapCause::InsnMisaligned
+        );
+    }
+
+    #[test]
+    fn fetch_from_mmio_faults() {
+        let mut m = machine();
+        assert_eq!(
+            m.fetch(MMIO_BASE).unwrap_err().cause,
+            TrapCause::InsnAccessFault
+        );
+    }
+
+    #[test]
+    fn phys_access_bypasses_translation() {
+        let mut m = machine();
+        m.translation = TranslationMode::SoftTlb;
+        // Virtual load faults, physical load succeeds.
+        assert!(m.load(0x300, LoadOp::Lw).is_err());
+        m.phys_store(0x300, 77).unwrap();
+        assert_eq!(m.phys_load(0x300).unwrap().0, 77);
+    }
+}

@@ -1,0 +1,177 @@
+//! Trap causes and trap values.
+
+use core::fmt;
+
+/// Why a trap was raised. Cause codes follow RISC-V numbering where one
+/// exists; page-key violations use custom codes 24/25.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrapCause {
+    /// Instruction fetch not 4-byte aligned.
+    InsnMisaligned,
+    /// Instruction fetch hit unmapped physical memory or device space.
+    InsnAccessFault,
+    /// No legal decoding / privileged instruction in normal mode.
+    IllegalInstruction,
+    /// `ebreak`.
+    Breakpoint,
+    /// Misaligned data load.
+    LoadMisaligned,
+    /// Data load from unmapped physical memory.
+    LoadAccessFault,
+    /// Misaligned data store.
+    StoreMisaligned,
+    /// Data store to unmapped physical memory.
+    StoreAccessFault,
+    /// `ecall`.
+    Ecall,
+    /// Instruction-fetch translation failure (TLB miss or no-execute).
+    InsnPageFault,
+    /// Load translation failure (TLB miss or no-read permission).
+    LoadPageFault,
+    /// Store translation failure (TLB miss or no-write permission).
+    StorePageFault,
+    /// Load blocked by a page-key permission mask.
+    LoadKeyViolation,
+    /// Store blocked by a page-key permission mask.
+    StoreKeyViolation,
+    /// External interrupt on the given line.
+    Interrupt(u8),
+}
+
+impl TrapCause {
+    /// The numeric cause code (interrupts have bit 31 set).
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            TrapCause::InsnMisaligned => 0,
+            TrapCause::InsnAccessFault => 1,
+            TrapCause::IllegalInstruction => 2,
+            TrapCause::Breakpoint => 3,
+            TrapCause::LoadMisaligned => 4,
+            TrapCause::LoadAccessFault => 5,
+            TrapCause::StoreMisaligned => 6,
+            TrapCause::StoreAccessFault => 7,
+            TrapCause::Ecall => 8,
+            TrapCause::InsnPageFault => 12,
+            TrapCause::LoadPageFault => 13,
+            TrapCause::StorePageFault => 15,
+            TrapCause::LoadKeyViolation => 24,
+            TrapCause::StoreKeyViolation => 25,
+            TrapCause::Interrupt(line) => 0x8000_0000 | u32::from(line),
+        }
+    }
+
+    /// Reconstructs a cause from its code.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<TrapCause> {
+        if code & 0x8000_0000 != 0 {
+            let line = code & 0x7FFF_FFFF;
+            return if line < 32 {
+                Some(TrapCause::Interrupt(line as u8))
+            } else {
+                None
+            };
+        }
+        Some(match code {
+            0 => TrapCause::InsnMisaligned,
+            1 => TrapCause::InsnAccessFault,
+            2 => TrapCause::IllegalInstruction,
+            3 => TrapCause::Breakpoint,
+            4 => TrapCause::LoadMisaligned,
+            5 => TrapCause::LoadAccessFault,
+            6 => TrapCause::StoreMisaligned,
+            7 => TrapCause::StoreAccessFault,
+            8 => TrapCause::Ecall,
+            12 => TrapCause::InsnPageFault,
+            13 => TrapCause::LoadPageFault,
+            15 => TrapCause::StorePageFault,
+            24 => TrapCause::LoadKeyViolation,
+            25 => TrapCause::StoreKeyViolation,
+            _ => return None,
+        })
+    }
+
+    /// True for interrupt causes.
+    #[must_use]
+    pub fn is_interrupt(self) -> bool {
+        matches!(self, TrapCause::Interrupt(_))
+    }
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCause::Interrupt(line) => write!(f, "interrupt(line {line})"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A trap: cause plus the trap value (faulting address or instruction
+/// word, mirroring `mtval` semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trap {
+    /// Why.
+    pub cause: TrapCause,
+    /// Faulting address or offending instruction word.
+    pub tval: u32,
+}
+
+impl Trap {
+    /// Shorthand constructor.
+    #[must_use]
+    pub fn new(cause: TrapCause, tval: u32) -> Trap {
+        Trap { cause, tval }
+    }
+
+    /// An illegal-instruction trap carrying the offending word.
+    #[must_use]
+    pub fn illegal(word: u32) -> Trap {
+        Trap::new(TrapCause::IllegalInstruction, word)
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (tval = {:#010x})", self.cause, self.tval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        let causes = [
+            TrapCause::InsnMisaligned,
+            TrapCause::InsnAccessFault,
+            TrapCause::IllegalInstruction,
+            TrapCause::Breakpoint,
+            TrapCause::LoadMisaligned,
+            TrapCause::LoadAccessFault,
+            TrapCause::StoreMisaligned,
+            TrapCause::StoreAccessFault,
+            TrapCause::Ecall,
+            TrapCause::InsnPageFault,
+            TrapCause::LoadPageFault,
+            TrapCause::StorePageFault,
+            TrapCause::LoadKeyViolation,
+            TrapCause::StoreKeyViolation,
+            TrapCause::Interrupt(0),
+            TrapCause::Interrupt(31),
+        ];
+        for c in causes {
+            assert_eq!(TrapCause::from_code(c.code()), Some(c), "{c}");
+        }
+        assert_eq!(TrapCause::from_code(9), None);
+        assert_eq!(TrapCause::from_code(0x8000_0020), None);
+    }
+
+    #[test]
+    fn interrupt_bit() {
+        assert!(TrapCause::Interrupt(3).is_interrupt());
+        assert!(!TrapCause::Ecall.is_interrupt());
+        assert_eq!(TrapCause::Interrupt(3).code(), 0x8000_0003);
+    }
+}

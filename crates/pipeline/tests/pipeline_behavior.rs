@@ -1,0 +1,361 @@
+//! Behavioural and timing tests for the pipelined core, driven by
+//! assembled programs.
+
+use metal_asm::assemble_at;
+use metal_isa::reg::Reg;
+use metal_mem::CacheConfig;
+use metal_pipeline::{Core, CoreConfig, HaltReason, NoHooks, TrapCause};
+
+fn perfect_cache() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 64 * 1024,
+        line_bytes: 32,
+        hit_latency: 1,
+        miss_penalty: 0,
+    }
+}
+
+/// A core with single-cycle memory everywhere, so cycle counts are pure
+/// pipeline behaviour.
+fn ideal_core() -> Core<NoHooks> {
+    Core::new(
+        CoreConfig {
+            icache: perfect_cache(),
+            dcache: perfect_cache(),
+            ram_bytes: 1 << 20,
+            ..CoreConfig::default()
+        },
+        NoHooks,
+    )
+}
+
+fn run_asm(core: &mut Core<NoHooks>, src: &str) -> HaltReason {
+    let words = assemble_at(src, 0).unwrap_or_else(|e| panic!("{e}"));
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    core.load_segments([(0u32, bytes.as_slice())], 0);
+    core.run(1_000_000).expect("program should halt")
+}
+
+#[test]
+fn arithmetic_and_halt() {
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        "li a0, 6\n li a1, 7\n mul a0, a0, a1\n ebreak",
+    );
+    assert_eq!(halt, HaltReason::Ebreak { code: 42 });
+}
+
+#[test]
+fn forwarding_chain_correct() {
+    // Each instruction consumes the previous one's result immediately.
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        "li a0, 1\n addi a0, a0, 1\n addi a0, a0, 1\n addi a0, a0, 1\n\
+         slli a0, a0, 4\n addi a0, a0, 2\n ebreak",
+    );
+    assert_eq!(halt, HaltReason::Ebreak { code: 66 });
+}
+
+#[test]
+fn steady_state_cpi_is_one() {
+    // 100 independent ALU ops: cycles ≈ instret + pipeline fill.
+    let body = "addi a1, a1, 1\n".repeat(100);
+    let mut core = ideal_core();
+    run_asm(&mut core, &format!("{body}ebreak"));
+    let perf = &core.state.perf;
+    assert!(
+        perf.cycles <= perf.instret + 8,
+        "CPI should be ~1: {} cycles for {} insns",
+        perf.cycles,
+        perf.instret
+    );
+}
+
+#[test]
+fn load_use_stalls_one_cycle() {
+    // Version A: load immediately consumed. Version B: independent insn
+    // between. A must take exactly one cycle more than B.
+    let prologue = "li s0, 0x1000\n li t1, 7\n sw t1, 0(s0)\n";
+    let a = format!("{prologue} lw a1, 0(s0)\n addi a2, a1, 1\n addi a3, zero, 0\n ebreak");
+    let b = format!("{prologue} lw a1, 0(s0)\n addi a3, zero, 0\n addi a2, a1, 1\n ebreak");
+    let mut core_a = ideal_core();
+    run_asm(&mut core_a, &a);
+    let mut core_b = ideal_core();
+    run_asm(&mut core_b, &b);
+    assert_eq!(core_a.state.regs.get(Reg::A2), 8);
+    assert_eq!(core_b.state.regs.get(Reg::A2), 8);
+    assert_eq!(
+        core_a.state.perf.cycles,
+        core_b.state.perf.cycles + 1,
+        "load-use should cost exactly one bubble"
+    );
+    assert_eq!(core_a.state.perf.loaduse_stall, 1);
+    assert_eq!(core_b.state.perf.loaduse_stall, 0);
+}
+
+#[test]
+fn taken_branch_costs_two_cycles() {
+    // Taken vs not-taken branch over the same instruction count.
+    let taken = "li a0, 1\n beq a0, a0, skip\n nop\nskip: nop\n ebreak";
+    let not_taken = "li a0, 1\n beq a0, zero, skip\n nop\nskip: nop\n ebreak";
+    let mut core_t = ideal_core();
+    run_asm(&mut core_t, taken);
+    let mut core_n = ideal_core();
+    run_asm(&mut core_n, not_taken);
+    // Taken path retires one fewer instruction (skips the nop) but pays
+    // the 2-cycle flush: net +1 cycle.
+    assert_eq!(core_t.state.perf.flush_cycles, 2);
+    assert_eq!(core_n.state.perf.flush_cycles, 0);
+    assert_eq!(core_t.state.perf.cycles, core_n.state.perf.cycles + 1);
+}
+
+#[test]
+fn icache_miss_stalls_fetch() {
+    let mut cold = Core::new(
+        CoreConfig {
+            icache: CacheConfig {
+                size_bytes: 256,
+                line_bytes: 4, // every fetch its own line -> every fetch misses once
+                hit_latency: 1,
+                miss_penalty: 10,
+            },
+            dcache: perfect_cache(),
+            ram_bytes: 1 << 20,
+            ..CoreConfig::default()
+        },
+        NoHooks,
+    );
+    run_asm(&mut cold, "nop\n nop\n nop\n ebreak");
+    let mut warm = ideal_core();
+    run_asm(&mut warm, "nop\n nop\n nop\n ebreak");
+    assert!(
+        cold.state.perf.cycles > warm.state.perf.cycles + 3 * 10 - 5,
+        "cold fetches should pay the miss penalty: {} vs {}",
+        cold.state.perf.cycles,
+        warm.state.perf.cycles
+    );
+    assert!(cold.state.perf.fetch_stall >= 30);
+}
+
+#[test]
+fn memory_operations_produce_correct_state() {
+    let mut core = ideal_core();
+    run_asm(
+        &mut core,
+        "li s0, 0x2000\n li t0, -2\n sw t0, 0(s0)\n sh t0, 4(s0)\n sb t0, 8(s0)\n\
+         lw a1, 0(s0)\n lhu a2, 4(s0)\n lbu a3, 8(s0)\n lb a4, 8(s0)\n ebreak",
+    );
+    assert_eq!(core.state.regs.get(Reg::A1), 0xFFFF_FFFE);
+    assert_eq!(core.state.regs.get(Reg::A2), 0xFFFE);
+    assert_eq!(core.state.regs.get(Reg::A3), 0xFE);
+    assert_eq!(core.state.regs.get(Reg::A4), 0xFFFF_FFFE);
+}
+
+#[test]
+fn ecall_vectors_and_mret_returns() {
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        r"
+        .equ HANDLER, 0x100
+        li t0, HANDLER
+        csrw mtvec, t0
+        li a0, 5
+        ecall            # handler doubles a0
+        addi a0, a0, 1
+        ebreak
+        .org HANDLER
+        slli a0, a0, 1
+        csrr t1, mepc
+        addi t1, t1, 4
+        csrw mepc, t1
+        mret
+        ",
+    );
+    assert_eq!(halt, HaltReason::Ebreak { code: 11 });
+    assert_eq!(core.state.csr.mcause, TrapCause::Ecall.code());
+    assert_eq!(core.state.perf.exceptions, 1);
+}
+
+#[test]
+fn illegal_instruction_reports_word() {
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        r"
+        li t0, 0x100
+        csrw mtvec, t0
+        .word 0xFFFFFFFF
+        nop
+        .org 0x100
+        ebreak
+        ",
+    );
+    assert_eq!(halt, HaltReason::Ebreak { code: 0 });
+    assert_eq!(core.state.csr.mcause, TrapCause::IllegalInstruction.code());
+    assert_eq!(core.state.csr.mtval, 0xFFFF_FFFF);
+}
+
+#[test]
+fn metal_insns_are_illegal_without_extension() {
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        r"
+        li t0, 0x100
+        csrw mtvec, t0
+        menter 3
+        nop
+        .org 0x100
+        csrr a0, mcause
+        ebreak
+        ",
+    );
+    assert_eq!(
+        halt,
+        HaltReason::Ebreak {
+            code: TrapCause::IllegalInstruction.code()
+        }
+    );
+}
+
+#[test]
+fn fetch_fault_on_unmapped_pc() {
+    let mut core = ideal_core();
+    let halt = run_asm(
+        &mut core,
+        r"
+        li t0, 0x100
+        csrw mtvec, t0
+        li t1, 0x800000     # beyond 1 MiB RAM
+        jr t1
+        .org 0x100
+        csrr a0, mcause
+        ebreak
+        ",
+    );
+    assert_eq!(
+        halt,
+        HaltReason::Ebreak {
+            code: TrapCause::InsnAccessFault.code()
+        }
+    );
+    assert_eq!(core.state.csr.mtval, 0x80_0000);
+}
+
+#[test]
+fn store_load_to_mmio_console() {
+    use metal_mem::devices::{map, Console};
+    let mut core = ideal_core();
+    let (console, out) = Console::new();
+    core.state
+        .bus
+        .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
+    run_asm(
+        &mut core,
+        r"
+        li s0, 0xF0000000
+        li t0, 'H'
+        sw t0, 0(s0)
+        li t0, 'i'
+        sw t0, 0(s0)
+        ebreak
+        ",
+    );
+    assert_eq!(out.lock().as_slice(), b"Hi");
+}
+
+#[test]
+fn timer_interrupt_delivered() {
+    use metal_mem::devices::{map, Timer};
+    let mut core = ideal_core();
+    core.state
+        .bus
+        .attach(map::TIMER_BASE, map::WINDOW_LEN, Box::new(Timer::new()));
+    let halt = run_asm(
+        &mut core,
+        r"
+        li t0, 0x200
+        csrw mtvec, t0
+        li t0, 1            # enable timer line (bit 0)
+        csrw mie, t0
+        li s0, 0xF0000100
+        li t0, 50
+        sw t0, 8(s0)        # cmp = 50
+        li t0, 1
+        sw t0, 16(s0)       # ctrl = enable
+        csrrsi zero, mstatus, 8   # set MIE
+        spin:
+        j spin
+        .org 0x200
+        csrr a0, mcause
+        ebreak
+        ",
+    );
+    assert_eq!(
+        halt,
+        HaltReason::Ebreak {
+            code: TrapCause::Interrupt(map::TIMER_IRQ).code()
+        }
+    );
+    assert_eq!(core.state.perf.interrupts, 1);
+}
+
+#[test]
+fn wfi_waits_for_interrupt() {
+    use metal_mem::devices::{map, Timer};
+    let mut core = ideal_core();
+    core.state
+        .bus
+        .attach(map::TIMER_BASE, map::WINDOW_LEN, Box::new(Timer::new()));
+    let halt = run_asm(
+        &mut core,
+        r"
+        li t0, 1
+        csrw mie, t0
+        li s0, 0xF0000100
+        li t0, 500
+        sw t0, 8(s0)
+        li t0, 1
+        sw t0, 16(s0)
+        wfi                 # MIE is off: wake without trapping
+        ebreak
+        ",
+    );
+    assert_eq!(halt, HaltReason::Ebreak { code: 0 });
+    assert!(
+        core.state.perf.cycles >= 500,
+        "WFI should sleep until the timer: {} cycles",
+        core.state.perf.cycles
+    );
+    assert_eq!(core.state.perf.interrupts, 0, "MIE off: no trap");
+}
+
+#[test]
+fn livelock_detected() {
+    let mut core = ideal_core();
+    // Jump into an infinite fault loop: mtvec = faulting address itself.
+    let words = assemble_at("j 0x0", 0x0).unwrap();
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    core.load_segments([(0u32, bytes.as_slice())], 0);
+    // An infinite `j 0` loop retires instructions forever, so use a cycle
+    // cap instead and assert it did not halt.
+    assert_eq!(core.run(10_000), None);
+    assert!(core.state.perf.instret > 1000);
+}
+
+#[test]
+fn division_latency_charged() {
+    let mut fast = ideal_core();
+    run_asm(&mut fast, "li a0, 100\n li a1, 7\n add a2, a0, a1\n ebreak");
+    let mut slow = ideal_core();
+    run_asm(&mut slow, "li a0, 100\n li a1, 7\n div a2, a0, a1\n ebreak");
+    assert_eq!(slow.state.regs.get(Reg::A2), 14);
+    assert_eq!(
+        slow.state.perf.cycles,
+        fast.state.perf.cycles + u64::from(slow.config().div_latency),
+        "div should cost its configured extra latency"
+    );
+}

@@ -1,0 +1,85 @@
+//! User-defined privilege levels: the paper's §3.1 demo, end to end.
+//!
+//! Boots the mini kernel, drops to userspace through `kexit`, makes
+//! system calls through the `kenter` gate (paper Figure 2), and shows a
+//! privilege violation being caught: the user tries to invoke `kexit`
+//! directly and lands in the kernel's violation handler instead.
+//!
+//! Run with: `cargo run --example custom_privilege`
+
+use metal_ext::kernel::{self, VIOLATION_EXIT};
+use metal_ext::machine::run_guest;
+use metal_mem::devices::{map, Console};
+use metal_pipeline::state::CoreConfig;
+use metal_pipeline::HaltReason;
+
+const HELLO_USER: &str = r"
+user_main:
+        # write metal + newline, one character at a time via sys_putc
+        li a1, 'm'
+        li a0, 0
+        menter 0
+        li a1, 'e'
+        li a0, 0
+        menter 0
+        li a1, 't'
+        li a0, 0
+        menter 0
+        li a1, 'a'
+        li a0, 0
+        menter 0
+        li a1, 'l'
+        li a0, 0
+        menter 0
+        li a1, 10
+        li a0, 0
+        menter 0
+        # getpid and exit with it
+        li a0, 1
+        menter 0
+        mv a1, a0
+        li a0, 3
+        menter 0
+";
+
+const EVIL_USER: &str = r"
+user_main:
+        # Try to 'return to userspace' without being the kernel: the
+        # kexit mroutine checks m0 and diverts to the violation handler.
+        la ra, pwned
+        menter 1
+pwned:
+        li a1, 99
+        li a0, 3
+        menter 0
+";
+
+fn boot(user: &str) -> (Option<HaltReason>, Vec<u8>) {
+    let mut core = kernel::builder()
+        .build_core(CoreConfig::default())
+        .expect("kernel mroutines verify");
+    let (console, out) = Console::new();
+    core.state
+        .bus
+        .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
+    let halt = run_guest(&mut core, &kernel::system_source(user), 1_000_000);
+    let bytes = out.lock().clone();
+    (halt, bytes)
+}
+
+fn main() {
+    println!("--- booting the mini kernel, dropping to ring 1 ---");
+    let (halt, console) = boot(HELLO_USER);
+    println!("console: {}", String::from_utf8_lossy(&console));
+    println!("user exited with: {halt:?} (pid)");
+    assert_eq!(halt, Some(HaltReason::Ebreak { code: 1 }));
+
+    println!("\n--- a user process tries to kexit directly ---");
+    let (halt, _) = boot(EVIL_USER);
+    match halt {
+        Some(HaltReason::Ebreak { code }) if code == VIOLATION_EXIT => {
+            println!("privilege violation caught by the kernel handler (exit {code:#x})");
+        }
+        other => panic!("the violation must be caught, got {other:?}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! Metal: an open architecture for developing processor features.
+//!
+//! Workspace facade crate: re-exports every subsystem so examples and
+//! integration tests can use a single dependency. See the README for
+//! the architecture overview and `metal_core` for the paper's primary
+//! contribution.
+
+pub use metal_asm as asm;
+pub use metal_core as core;
+pub use metal_ext as ext;
+pub use metal_hwcost as hwcost;
+pub use metal_isa as isa;
+pub use metal_mem as mem;
+pub use metal_pipeline as pipeline;

@@ -1,0 +1,181 @@
+//! The pipelined core and the reference interpreter must agree on
+//! *Metal* semantics, not just the base ISA: both engines run the same
+//! hook implementation, so every mroutine scenario should end in the
+//! same architectural state.
+
+use metal_core::{Metal, MetalBuilder};
+use metal_pipeline::state::CoreConfig;
+use metal_pipeline::{Core, HaltReason, Interp};
+
+/// Builds the same Metal twice (it is `Clone`) and runs `src` on both
+/// engines, asserting identical halt and register state.
+fn both_engines(builder: MetalBuilder, src: &str) -> (u32, Metal, Metal) {
+    let (metal, image, _) = builder.build().expect("builds");
+    let words = metal_asm::assemble_at(src, 0).expect("assembles");
+    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+    let mut core = Core::new(CoreConfig::default(), metal.clone());
+    for (base, data) in &image {
+        core.state.bus.ram.load(*base, data).unwrap();
+    }
+    core.load_segments([(0u32, bytes.as_slice())], 0);
+    let core_halt = core.run(10_000_000);
+
+    let mut interp = Interp::new(CoreConfig::default(), metal);
+    for (base, data) in &image {
+        interp.state.bus.ram.load(*base, data).unwrap();
+    }
+    interp.load_segments([(0u32, bytes.as_slice())], 0);
+    let interp_halt = interp.run(5_000_000);
+
+    assert_eq!(core_halt, interp_halt, "halt reasons diverged");
+    assert_eq!(
+        core.state.regs.snapshot(),
+        interp.state.regs.snapshot(),
+        "register files diverged"
+    );
+    let code = match core_halt {
+        Some(HaltReason::Ebreak { code }) => code,
+        other => panic!("expected ebreak, got {other:?}"),
+    };
+    (code, core.hooks, interp.hooks)
+}
+
+#[test]
+fn menter_mexit_agree() {
+    let builder = MetalBuilder::new().routine(0, "triple", "slli t6, a0, 1\n add a0, a0, t6\n mexit");
+    let (code, ch, ih) = both_engines(builder, "li a0, 7\n menter 0\n ebreak");
+    assert_eq!(code, 21);
+    assert_eq!(ch.stats, ih.stats);
+}
+
+#[test]
+fn mram_data_state_agrees() {
+    let builder = MetalBuilder::new().routine(
+        0,
+        "count",
+        "mld t0, 0(zero)\n addi t0, t0, 1\n mst t0, 0(zero)\n mv a0, t0\n mexit",
+    );
+    let (code, ch, ih) =
+        both_engines(builder, "menter 0\n menter 0\n menter 0\n menter 0\n ebreak");
+    assert_eq!(code, 4);
+    assert_eq!(ch.mram.data()[0..4], ih.mram.data()[0..4]);
+}
+
+#[test]
+fn interception_agrees() {
+    let builder = MetalBuilder::new()
+        .routine(
+            1,
+            "arm",
+            "li t0, 0x03\n li t1, 5\n mintercept t0, t1\n li t0, 1\n wmr mstatus, t0\n mexit",
+        )
+        .routine(
+            2,
+            "double_loads",
+            r"
+            mpld t1, s0
+            slli a3, t1, 1
+            rmr t2, m31
+            addi t2, t2, 4
+            wmr m31, t2
+            mexit
+            ",
+        );
+    let src = r"
+        li s0, 0x4000
+        li t0, 15
+        sw t0, 0(s0)
+        menter 1
+        lw a3, 0(s0)
+        mv a0, a3
+        ebreak
+    ";
+    let (code, ch, ih) = both_engines(builder, src);
+    assert_eq!(code, 30);
+    assert_eq!(ch.stats.intercepts, 1);
+    assert_eq!(ch.stats, ih.stats);
+}
+
+#[test]
+fn delegation_agrees() {
+    let builder = MetalBuilder::new()
+        .routine(
+            0,
+            "sys",
+            "slli a0, a0, 2\n rmr t0, m31\n addi t0, t0, 4\n wmr m31, t0\n mexit",
+        )
+        .delegate_exception(metal_pipeline::TrapCause::Ecall, 0);
+    let (code, ch, ih) = both_engines(builder, "li a0, 5\n ecall\n addi a0, a0, 1\n ebreak");
+    assert_eq!(code, 21);
+    assert_eq!(ch.stats.delegated_exceptions, 1);
+    assert_eq!(ch.stats, ih.stats);
+}
+
+#[test]
+fn palcode_dispatch_agrees() {
+    let builder = MetalBuilder::new()
+        .palcode(0x20_0000)
+        .routine(0, "inc", "addi a0, a0, 1\n mexit");
+    let (code, _, _) = both_engines(builder, "li a0, 1\n menter 0\n menter 0\n ebreak");
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn nested_layers_agree() {
+    let builder = MetalBuilder::new()
+        .layers(2)
+        .routine(
+            1,
+            "l1",
+            r"
+            rmr t1, m31
+            wmr m2, t1
+            sw a1, 0(s0)
+            rmr t1, m2
+            addi t1, t1, 4
+            wmr m31, t1
+            mexit
+            ",
+        )
+        .routine(
+            2,
+            "l0",
+            r"
+            mpst s0, a1
+            rmr t1, m31
+            addi t1, t1, 4
+            wmr m31, t1
+            mexit
+            ",
+        )
+        .routine(
+            3,
+            "arm",
+            r"
+            mlayer zero
+            li t0, 0x23
+            li t1, 5
+            mintercept t0, t1
+            li t2, 1
+            mlayer t2
+            li t1, 3
+            mintercept t0, t1
+            li t2, 1
+            wmr mstatus, t2
+            mexit
+            ",
+        );
+    let src = r"
+        li s0, 0x4000
+        li a1, 33
+        menter 3
+        sw a1, 0(s0)
+        lw a0, 0(s0)
+        ebreak
+    ";
+    let (code, ch, ih) = both_engines(builder, src);
+    assert_eq!(code, 33);
+    assert_eq!(ch.stats.intercepts, 2);
+    assert_eq!(ch.stats, ih.stats);
+}
