@@ -512,14 +512,15 @@ fn expand(
     pc: u32,
 ) -> Result<Vec<Insn>, AsmError> {
     let ops = operands;
-    let branch = |cond: Cond, rs1: Reg, rs2: Reg, target: &[Token]| -> Result<Vec<Insn>, AsmError> {
-        Ok(vec![Insn::Branch {
-            cond,
-            rs1,
-            rs2,
-            offset: as_target(target, env, pc, line)?,
-        }])
-    };
+    let branch =
+        |cond: Cond, rs1: Reg, rs2: Reg, target: &[Token]| -> Result<Vec<Insn>, AsmError> {
+            Ok(vec![Insn::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: as_target(target, env, pc, line)?,
+            }])
+        };
     let alu_imm = |op: AluOp| -> Result<Vec<Insn>, AsmError> {
         arity(line, mnemonic, ops, 3)?;
         Ok(vec![Insn::AluImm {
@@ -683,7 +684,10 @@ fn expand(
                 rd: as_reg(&ops[0], line)?,
                 offset: as_target(&ops[1], env, pc, line)?,
             }]),
-            n => Err(AsmError::new(line, format!("jal expects 1-2 operands, got {n}"))),
+            n => Err(AsmError::new(
+                line,
+                format!("jal expects 1-2 operands, got {n}"),
+            )),
         },
         "jalr" => match ops.len() {
             1 => {
@@ -757,7 +761,11 @@ fn expand(
         }
         "blez" | "bgtz" => {
             arity(line, mnemonic, ops, 2)?;
-            let cond = if mnemonic == "blez" { Cond::Ge } else { Cond::Lt };
+            let cond = if mnemonic == "blez" {
+                Cond::Ge
+            } else {
+                Cond::Lt
+            };
             branch(cond, Reg::ZERO, as_reg(&ops[0], line)?, &ops[1])
         }
         // --- system ---

@@ -8,7 +8,10 @@
 //! (gaps zero-filled). `--symbols` prints the symbol table to stderr.
 
 use metal_asm::{assemble, Options};
+use metal_util::cli::{parse_u32, usage};
 use std::process::ExitCode;
+
+const USAGE: &str = "masm input.s [-o out.bin] [--base 0xADDR] [--symbols]";
 
 fn main() -> ExitCode {
     let mut input: Option<String> = None;
@@ -20,22 +23,22 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "-o" => match args.next() {
                 Some(path) => output = path,
-                None => return usage("missing argument to -o"),
+                None => return usage("masm", USAGE, "missing argument to -o"),
             },
             "--base" => match args.next().and_then(|v| parse_u32(&v)) {
                 Some(v) => base = v,
-                None => return usage("bad --base value"),
+                None => return usage("masm", USAGE, "bad --base value"),
             },
             "--symbols" => symbols = true,
-            "-h" | "--help" => return usage(""),
+            "-h" | "--help" => return usage("masm", USAGE, ""),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
             }
-            other => return usage(&format!("unknown argument {other:?}")),
+            other => return usage("masm", USAGE, &format!("unknown argument {other:?}")),
         }
     }
     let Some(input) = input else {
-        return usage("no input file");
+        return usage("masm", USAGE, "no input file");
     };
     let src = match std::fs::read_to_string(&input) {
         Ok(src) => src,
@@ -75,24 +78,4 @@ fn main() -> ExitCode {
     }
     eprintln!("masm: wrote {} bytes to {output}", image.len());
     ExitCode::SUCCESS
-}
-
-fn parse_u32(s: &str) -> Option<u32> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u32::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
-
-fn usage(err: &str) -> ExitCode {
-    if !err.is_empty() {
-        eprintln!("masm: {err}");
-    }
-    eprintln!("usage: masm input.s [-o out.bin] [--base 0xADDR] [--symbols]");
-    if err.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
 }

@@ -5,8 +5,11 @@
 //! ```
 
 use metal_isa::{decode, disassemble};
+use metal_util::cli::{parse_u32, usage};
 use std::io::Write as _;
 use std::process::ExitCode;
+
+const USAGE: &str = "mdis image.bin [--base 0xADDR]";
 
 fn main() -> ExitCode {
     let mut input: Option<String> = None;
@@ -14,29 +17,19 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--base" => {
-                let Some(v) = args.next().and_then(|v| {
-                    v.strip_prefix("0x")
-                        .map_or_else(|| v.parse().ok(), |h| u32::from_str_radix(h, 16).ok())
-                }) else {
-                    eprintln!("mdis: bad --base value");
-                    return ExitCode::FAILURE;
-                };
-                base = v;
-            }
+            "--base" => match args.next().and_then(|v| parse_u32(&v)) {
+                Some(v) => base = v,
+                None => return usage("mdis", USAGE, "bad --base value"),
+            },
+            "-h" | "--help" => return usage("mdis", USAGE, ""),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
             }
-            other => {
-                eprintln!("mdis: unknown argument {other:?}");
-                eprintln!("usage: mdis image.bin [--base 0xADDR]");
-                return ExitCode::FAILURE;
-            }
+            other => return usage("mdis", USAGE, &format!("unknown argument {other:?}")),
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: mdis image.bin [--base 0xADDR]");
-        return ExitCode::FAILURE;
+        return usage("mdis", USAGE, "no input image");
     };
     let bytes = match std::fs::read(&input) {
         Ok(bytes) => bytes,

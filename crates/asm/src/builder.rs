@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn straight_line_assembles() {
         let mut b = McodeBuilder::new();
-        b.li(Reg::T0, 5).addi(Reg::T0, Reg::T0, 1).wmr(3, Reg::T0).mexit();
+        b.li(Reg::T0, 5)
+            .addi(Reg::T0, Reg::T0, 1)
+            .wmr(3, Reg::T0)
+            .mexit();
         let words = assemble_at(&b.finish(), 0xFFF0_0000).unwrap();
         assert!(words.len() >= 4);
     }

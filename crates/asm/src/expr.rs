@@ -166,9 +166,7 @@ fn parse_primary(
                 // %hi compensates for the sign extension of the matching %lo.
                 "hi" => i64::from((v.wrapping_add(0x800) as u32) >> 12),
                 "lo" => i64::from((v << 20) >> 20),
-                other => {
-                    return Err(AsmError::new(lineno, format!("unknown operator %{other}")))
-                }
+                other => return Err(AsmError::new(lineno, format!("unknown operator %{other}"))),
             };
             Ok((out, next + 1))
         }

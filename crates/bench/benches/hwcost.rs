@@ -1,13 +1,10 @@
-//! Criterion bench for T2/E8: the hardware-cost model itself.
+//! Microbench for T2/E8: the hardware-cost model itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use metal_bench::microbench::{bench_fn, black_box};
 use metal_hwcost::{table2, MetalHwConfig, ProcessorConfig};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("hwcost_table2", |b| {
-        b.iter(|| table2(&ProcessorConfig::paper(), &MetalHwConfig::paper()));
+fn main() {
+    bench_fn("hwcost", "table2", || {
+        black_box(table2(&ProcessorConfig::paper(), &MetalHwConfig::paper()));
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Simulator throughput: simulated instructions per host second for the
-//! pipelined core and the functional reference interpreter.
+//! pipelined core and the functional reference interpreter — plus the
+//! disabled-tracing configuration, which must stay within noise of the
+//! untraced core (the observability layer's zero-overhead claim).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use metal_bench::harness::std_config;
-use metal_pipeline::{Core, Interp, NoHooks};
+use metal_bench::microbench::{bench_fn, bench_pair, black_box};
+use metal_pipeline::{Core, Interp, NoHooks, TracingHooks};
 
 const LOOPS: u64 = 5_000;
 
@@ -18,26 +20,33 @@ fn program() -> Vec<u8> {
         .collect()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let image = program();
-    let mut group = c.benchmark_group("sim_throughput");
-    group.throughput(Throughput::Elements(LOOPS * 4));
-    group.bench_function("pipelined_core", |b| {
-        b.iter(|| {
+    // Tracing hooks installed but the trace handle disabled: the hot
+    // path sees one predictable branch per emission point. Interleaved
+    // batches so host drift cancels out of the overhead estimate.
+    let pair = bench_pair(
+        "sim_throughput",
+        "pipelined_core",
+        || {
             let mut core = Core::new(std_config(), NoHooks);
             core.load_segments([(0u32, image.as_slice())], 0);
-            core.run(10_000_000)
-        });
+            black_box(core.run(10_000_000));
+        },
+        "pipelined_core_trace_disabled",
+        || {
+            let mut core = Core::new(std_config(), TracingHooks::new(NoHooks));
+            core.load_segments([(0u32, image.as_slice())], 0);
+            black_box(core.run(10_000_000));
+        },
+    );
+    println!(
+        "sim_throughput/trace_disabled_overhead: {:+.2}% (paired median)",
+        pair.rel_diff * 100.0
+    );
+    bench_fn("sim_throughput", "reference_interp", || {
+        let mut interp = Interp::new(std_config(), NoHooks);
+        interp.load_segments([(0u32, image.as_slice())], 0);
+        black_box(interp.run(10_000_000));
     });
-    group.bench_function("reference_interp", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(std_config(), NoHooks);
-            interp.load_segments([(0u32, image.as_slice())], 0);
-            interp.run(10_000_000)
-        });
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,13 @@
-//! Criterion bench for E4: simulating STM transactions.
+//! Microbench for E4: simulating STM transactions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use metal_bench::experiments::stm_exp;
+use metal_bench::microbench::{bench_fn, black_box};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stm");
-    group.sample_size(10);
-    group.bench_function("rmw4_transactions", |b| {
-        b.iter(|| stm_exp::tx_cost(4));
+fn main() {
+    bench_fn("stm", "rmw4_transactions", || {
+        black_box(stm_exp::tx_cost(4));
     });
-    group.bench_function("conflict_rounds", |b| {
-        b.iter(|| stm_exp::abort_rate(50));
+    bench_fn("stm", "conflict_rounds", || {
+        black_box(stm_exp::abort_rate(50));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,10 @@
-//! Criterion bench for E3: simulating the TLB-refill workload.
+//! Microbench for E3: simulating the TLB-refill workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use metal_bench::experiments::pagetable_exp;
+use metal_bench::microbench::{bench_fn, black_box};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tlb_refill");
-    group.sample_size(10);
-    group.bench_function("all_variants", |b| {
-        b.iter(pagetable_exp::measure);
+fn main() {
+    bench_fn("tlb_refill", "all_variants", || {
+        black_box(pagetable_exp::measure());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

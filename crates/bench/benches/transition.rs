@@ -1,9 +1,9 @@
-//! Criterion bench for E1: host-time cost of simulating the no-op
-//! mroutine call loop under each dispatch design (the cycle-level
-//! numbers come from `reproduce -- e1`).
+//! Microbench for E1: host-time cost of simulating the no-op mroutine
+//! call loop under each dispatch design (the cycle-level numbers come
+//! from `reproduce -- e1`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use metal_bench::harness::{run_to_halt, std_config};
+use metal_bench::microbench::bench_fn;
 use metal_core::MetalBuilder;
 
 fn call_loop(palcode: bool) {
@@ -19,12 +19,7 @@ fn call_loop(palcode: bool) {
     );
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transition");
-    group.bench_function("metal_noop_calls", |b| b.iter(|| call_loop(false)));
-    group.bench_function("palcode_noop_calls", |b| b.iter(|| call_loop(true)));
-    group.finish();
+fn main() {
+    bench_fn("transition", "metal_noop_calls", || call_loop(false));
+    bench_fn("transition", "palcode_noop_calls", || call_loop(true));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

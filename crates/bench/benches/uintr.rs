@@ -1,16 +1,10 @@
-//! Criterion bench for E5: simulating interrupt delivery.
+//! Microbench for E5: simulating interrupt delivery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use metal_bench::experiments::uintr_exp;
+use metal_bench::microbench::{bench_fn, black_box};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uintr");
-    group.sample_size(10);
-    group.bench_function("report_slice", |b| {
-        b.iter(|| uintr_exp::report().len());
+fn main() {
+    bench_fn("uintr", "report_slice", || {
+        black_box(uintr_exp::report().len());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

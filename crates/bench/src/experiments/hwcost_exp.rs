@@ -23,7 +23,10 @@ pub fn table2_report() -> String {
     let _ = writeln!(
         out,
         "metal block breakdown:\n{}",
-        metal.find("metal").expect("metal block present").tree_report()
+        metal
+            .find("metal")
+            .expect("metal block present")
+            .tree_report()
     );
     out
 }
@@ -35,14 +38,22 @@ pub fn ablation_report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== E8: hardware-cost ablation ==\n");
     let _ = writeln!(out, "MRAM code size sweep (cells overhead %):");
-    let _ = writeln!(out, "{:<12} {:>10} {:>10}", "code bytes", "cells %", "wires %");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10}",
+        "code bytes", "cells %", "wires %"
+    );
     for code in [256u64, 512, 768, 1024, 2048, 4096, 8192] {
         let cfg = MetalHwConfig {
             mram_code_bytes: code,
             ..MetalHwConfig::paper()
         };
         let t = table2(&base_cfg, &cfg);
-        let _ = writeln!(out, "{code:<12} {:>9.1}% {:>9.1}%", t.cells_pct, t.wires_pct);
+        let _ = writeln!(
+            out,
+            "{code:<12} {:>9.1}% {:>9.1}%",
+            t.cells_pct, t.wires_pct
+        );
     }
     let _ = writeln!(out, "\nentry-table slots sweep:");
     let _ = writeln!(out, "{:<12} {:>10}", "slots", "cells %");

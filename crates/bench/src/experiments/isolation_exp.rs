@@ -107,7 +107,11 @@ pub fn report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== E6: in-process isolation (vault gate) ==\n");
     let _ = writeln!(out, "{:<46} {:>10}", "design", "cyc/call");
-    let _ = writeln!(out, "{:<46} {:>10.2}", "vault gate (mroutine + page-key flip)", g);
+    let _ = writeln!(
+        out,
+        "{:<46} {:>10.2}",
+        "vault gate (mroutine + page-key flip)", g
+    );
     let _ = writeln!(out, "{:<46} {:>10.2}", "plain call, unprotected secret", u);
     let _ = writeln!(
         out,

@@ -13,8 +13,7 @@ pub mod uintr_exp;
 
 /// Every experiment id the `reproduce` binary accepts.
 pub const ALL: &[&str] = &[
-    "table1", "figure1", "figure2", "table2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
-    "e9",
+    "table1", "figure1", "figure2", "table2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
 ];
 
 /// Runs one experiment by id, returning its text report.

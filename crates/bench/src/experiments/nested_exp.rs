@@ -105,7 +105,11 @@ fn per_store(layers: usize) -> f64 {
 pub fn report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== E7: nested Metal, chained interception ==\n");
-    let _ = writeln!(out, "{:<34} {:>16}", "layers intercepting a store", "extra cyc/store");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>16}",
+        "layers intercepting a store", "extra cyc/store"
+    );
     for layers in [0usize, 1, 2] {
         let _ = writeln!(out, "{layers:<34} {:>16.1}", per_store(layers));
     }
@@ -133,6 +137,9 @@ mod tests {
         assert!(two > one + 3.0, "two layers cost two handlers: {two:.2}");
         // Roughly linear: the second layer costs no more than 3x the
         // first (its handler does strictly more work).
-        assert!(two < one * 4.0, "chain cost should stay linear-ish: {two:.2} vs {one:.2}");
+        assert!(
+            two < one * 4.0,
+            "chain cost should stay linear-ish: {two:.2} vs {one:.2}"
+        );
     }
 }

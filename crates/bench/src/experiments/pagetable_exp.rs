@@ -153,11 +153,37 @@ pub fn report() -> String {
         out,
         "workload: {TOUCHES} touches over {PAGES} pages, 8-entry TLB (every touch refills)\n"
     );
-    let _ = writeln!(out, "{:<40} {:>12} {:>14}", "design", "total cyc", "cyc/refill");
-    let _ = writeln!(out, "{:<40} {:>12} {:>14}", "no translation (lower bound)", r.bare, "-");
-    let _ = writeln!(out, "{:<40} {:>12} {:>14.1}", "hardware walker", r.hw, per(r.hw));
-    let _ = writeln!(out, "{:<40} {:>12} {:>14.1}", "Metal mroutine walker (MRAM)", r.metal, per(r.metal));
-    let _ = writeln!(out, "{:<40} {:>12} {:>14.1}", "same mroutine, PALcode dispatch", r.palcode, per(r.palcode));
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>14}",
+        "design", "total cyc", "cyc/refill"
+    );
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>14}",
+        "no translation (lower bound)", r.bare, "-"
+    );
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>14.1}",
+        "hardware walker",
+        r.hw,
+        per(r.hw)
+    );
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>14.1}",
+        "Metal mroutine walker (MRAM)",
+        r.metal,
+        per(r.metal)
+    );
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>14.1}",
+        "same mroutine, PALcode dispatch",
+        r.palcode,
+        per(r.palcode)
+    );
     let _ = writeln!(
         out,
         "\npaper anchor: Metal \"greatly closes the performance gap between\n\

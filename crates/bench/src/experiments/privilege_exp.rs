@@ -24,7 +24,11 @@ fn metal_machine() -> Core<Metal> {
 fn metal_syscall() -> f64 {
     // Syscall 0's handler at the table slot returns immediately.
     let program = |call: bool| {
-        let body = if call { "li a0, 0\n menter 0" } else { "nop\n nop" };
+        let body = if call {
+            "li a0, 0\n menter 0"
+        } else {
+            "nop\n nop"
+        };
         format!(
             r"
             la a0, kfault
@@ -58,7 +62,11 @@ fn metal_syscall() -> f64 {
 /// Null syscall via ecall/mret on the baseline core.
 fn trap_syscall() -> f64 {
     let program = |call: bool| {
-        let body = if call { "li a0, 0\n ecall" } else { "nop\n nop" };
+        let body = if call {
+            "li a0, 0\n ecall"
+        } else {
+            "nop\n nop"
+        };
         format!(
             r"
             li t0, 0x400
@@ -140,10 +148,21 @@ pub fn report() -> String {
     let metal = metal_syscall();
     let trap = trap_syscall();
     let mut out = String::new();
-    let _ = writeln!(out, "== E2: privilege-transition cost (cycles/round trip) ==\n");
+    let _ = writeln!(
+        out,
+        "== E2: privilege-transition cost (cycles/round trip) ==\n"
+    );
     let _ = writeln!(out, "{:<42} {:>10}", "design", "cyc");
-    let _ = writeln!(out, "{:<42} {:>10.2}", "Metal kenter/kexit (paper Fig. 2)", metal);
-    let _ = writeln!(out, "{:<42} {:>10.2}", "trap-based ecall/mret + dispatch", trap);
+    let _ = writeln!(
+        out,
+        "{:<42} {:>10.2}",
+        "Metal kenter/kexit (paper Fig. 2)", metal
+    );
+    let _ = writeln!(
+        out,
+        "{:<42} {:>10.2}",
+        "trap-based ecall/mret + dispatch", trap
+    );
     let _ = writeln!(
         out,
         "\nring-call gate round trip (user ring -> ring 0 -> back): {:.2} cyc",

@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 pub fn table1() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Table 1: New Metal instructions ==\n");
-    let _ = writeln!(out, "{:<12} {:<12} semantics", "instruction", "available in");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<12} semantics",
+        "instruction", "available in"
+    );
     for (mnemonic, mode, semantics) in metal_isa::metal::instruction_table() {
         let _ = writeln!(out, "{mnemonic:<12} {mode:<12} {semantics}");
     }
@@ -33,10 +37,7 @@ pub fn table1() -> String {
 pub fn figure1() -> String {
     let core = metal_processor(&ProcessorConfig::paper(), &MetalHwConfig::paper());
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== Figure 1: Metal workflow and added components ==\n"
-    );
+    let _ = writeln!(out, "== Figure 1: Metal workflow and added components ==\n");
     let _ = writeln!(
         out,
         "workflow: boot-time loader assembles + verifies mroutines -> MRAM;\n\

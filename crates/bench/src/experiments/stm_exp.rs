@@ -142,13 +142,12 @@ pub fn report() -> String {
     );
     for words in [1u32, 2, 4, 8] {
         let (tx, raw) = tx_cost(words);
-        let _ = writeln!(
-            out,
-            "{words:<8} {tx:>14.1} {raw:>12.1} {:>9.1}x",
-            tx / raw
-        );
+        let _ = writeln!(out, "{words:<8} {tx:>14.1} {raw:>12.1} {:>9.1}x", tx / raw);
     }
-    let _ = writeln!(out, "\nabort rate vs conflict probability (interleaved TL2):");
+    let _ = writeln!(
+        out,
+        "\nabort rate vs conflict probability (interleaved TL2):"
+    );
     let _ = writeln!(out, "{:<16} {:>12}", "conflict %", "abort %");
     for pct in [0u32, 25, 50, 75, 100] {
         let _ = writeln!(out, "{pct:<16} {:>12.0}", abort_rate(pct));

@@ -21,15 +21,11 @@ use std::fmt::Write as _;
 const CALLS: u64 = 200;
 
 fn call_program(calls: u64) -> String {
-    format!(
-        "li s1, {calls}\nloop:\n menter 0\n addi s1, s1, -1\n bnez s1, loop\n ebreak"
-    )
+    format!("li s1, {calls}\nloop:\n menter 0\n addi s1, s1, -1\n bnez s1, loop\n ebreak")
 }
 
 fn nocall_program(calls: u64) -> String {
-    format!(
-        "li s1, {calls}\nloop:\n nop\n addi s1, s1, -1\n bnez s1, loop\n ebreak"
-    )
+    format!("li s1, {calls}\nloop:\n nop\n addi s1, s1, -1\n bnez s1, loop\n ebreak")
 }
 
 fn metal_core(config: CoreConfig, decode_replacement: bool, palcode: bool) -> Core<Metal> {
@@ -138,10 +134,26 @@ pub fn report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== E1: no-op mroutine call cost (cycles/call) ==\n");
     let _ = writeln!(out, "{:<38} {:>10}", "variant", "cyc/call");
-    let _ = writeln!(out, "{:<38} {:>10.2}", "Metal (MRAM + decode replacement)", r.metal);
-    let _ = writeln!(out, "{:<38} {:>10.2}", "Metal w/o decode replacement", r.metal_no_replace);
-    let _ = writeln!(out, "{:<38} {:>10.2}", "PALcode-style (warm I-cache)", r.palcode_warm);
-    let _ = writeln!(out, "{:<38} {:>10.2}", "PALcode-style (cold dispatch)", r.palcode_cold);
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2}",
+        "Metal (MRAM + decode replacement)", r.metal
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2}",
+        "Metal w/o decode replacement", r.metal_no_replace
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2}",
+        "PALcode-style (warm I-cache)", r.palcode_warm
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2}",
+        "PALcode-style (cold dispatch)", r.palcode_cold
+    );
     let _ = writeln!(out, "{:<38} {:>10.2}", "trap-based (ecall + mret)", r.trap);
     let _ = writeln!(
         out,
@@ -212,6 +224,11 @@ mod tests {
             r.palcode_cold
         );
         // Trap path costs more than Metal.
-        assert!(r.trap > r.metal + 4.0, "trap {:.2} vs metal {:.2}", r.trap, r.metal);
+        assert!(
+            r.trap > r.metal + 4.0,
+            "trap {:.2} vs metal {:.2}",
+            r.trap,
+            r.metal
+        );
     }
 }

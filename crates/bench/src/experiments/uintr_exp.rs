@@ -25,10 +25,7 @@ fn schedule(handle: &NicHandle, period: u64) {
     }
 }
 
-fn load_and_run_uncapped<H: metal_pipeline::Hooks>(
-    core: &mut Core<H>,
-    src: &str,
-) -> (u32, u64) {
+fn load_and_run_uncapped<H: metal_pipeline::Hooks>(core: &mut Core<H>, src: &str) -> (u32, u64) {
     let words = metal_asm::assemble_at(src, 0).unwrap_or_else(|e| panic!("{e}"));
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
     core.load_segments([(0u32, bytes.as_slice())], 0);
@@ -200,11 +197,7 @@ fn polling(period: u64) -> (f64, u64, u64) {
 fn mean_latency(handle: &NicHandle) -> f64 {
     let completions = handle.take_completions();
     assert_eq!(completions.len() as u64, PACKETS, "all packets acked");
-    completions
-        .iter()
-        .map(|(a, d)| (d - a) as f64)
-        .sum::<f64>()
-        / completions.len() as f64
+    completions.iter().map(|(a, d)| (d - a) as f64).sum::<f64>() / completions.len() as f64
 }
 
 /// The E5 report.

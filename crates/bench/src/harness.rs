@@ -53,3 +53,27 @@ pub fn cycles_of(build: impl Fn() -> Core<Metal>, src: &str) -> u64 {
 pub fn per_op(total_with: u64, total_without: u64, ops: u64) -> f64 {
     (total_with as f64 - total_without as f64) / ops as f64
 }
+
+/// Runs the canonical instrumented workload — the E1 no-op mroutine
+/// call loop on the Metal design point, with full tracing enabled — and
+/// returns the unified metrics snapshot: cycles, instret, the stall
+/// breakdown, cache/TLB hit rates, and per-mroutine transition counts
+/// with latency histograms.
+#[must_use]
+pub fn metrics_run() -> metal_trace::MetricsSnapshot {
+    use metal_trace::{TraceConfig, TraceHandle};
+    let mut core = metal_core::MetalBuilder::new()
+        .routine(0, "noop", "mexit")
+        .build_core(std_config())
+        .expect("canonical workload builds");
+    core.state
+        .set_trace(TraceHandle::enabled(TraceConfig::default()));
+    run_to_halt(
+        &mut core,
+        "li s1, 200\nloop:\n menter 0\n addi s1, s1, -1\n bnez s1, loop\n ebreak",
+        10_000_000,
+    );
+    let mut snap = core.state.metrics_snapshot();
+    core.hooks.publish_metrics(&mut snap);
+    snap
+}

@@ -24,5 +24,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{cycles_of, run_to_halt, std_config};

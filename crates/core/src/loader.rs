@@ -98,8 +98,7 @@ impl MetalBuilder {
     /// Adds an mroutine (assembly source) bound to `entry`.
     #[must_use]
     pub fn routine(mut self, entry: u8, name: &str, src: &str) -> MetalBuilder {
-        self.routines
-            .push((entry, name.to_owned(), src.to_owned()));
+        self.routines.push((entry, name.to_owned(), src.to_owned()));
         self
     }
 
@@ -193,12 +192,18 @@ impl MetalBuilder {
                     layer,
                     cause,
                     entry,
-                } => metal.layers[layer].delegation.delegate_exception(cause, entry),
+                } => metal.layers[layer]
+                    .delegation
+                    .delegate_exception(cause, entry),
                 Delegation::AllExceptions { layer, entry } => {
-                    metal.layers[layer].delegation.delegate_all_exceptions(entry);
+                    metal.layers[layer]
+                        .delegation
+                        .delegate_all_exceptions(entry);
                 }
                 Delegation::Interrupt { layer, line, entry } => {
-                    metal.layers[layer].delegation.delegate_interrupt(line, entry);
+                    metal.layers[layer]
+                        .delegation
+                        .delegate_interrupt(line, entry);
                 }
             }
         }
@@ -244,10 +249,7 @@ mod tests {
         assert!(warnings.is_empty(), "{warnings:?}");
         assert!(metal.mram.entry(0).is_some());
         assert!(metal.mram.entry(5).is_some());
-        assert_eq!(
-            metal.layers[0].delegation.lookup(TrapCause::Ecall),
-            Some(0)
-        );
+        assert_eq!(metal.layers[0].delegation.lookup(TrapCause::Ecall), Some(0));
         assert_eq!(
             metal.layers[0].delegation.lookup(TrapCause::Interrupt(1)),
             Some(5)

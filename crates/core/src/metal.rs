@@ -33,6 +33,7 @@ use metal_isa::reg::Reg;
 use metal_pipeline::hooks::{CustomExec, DecodeOutcome, Hooks, TrapDisposition, TrapEvent};
 use metal_pipeline::state::MachineState;
 use metal_pipeline::trap::{Trap, TrapCause};
+use metal_trace::{EventKind, MetricsSnapshot, TransitionCause, TransitionTable};
 
 /// Where mroutine code physically lives — the ablation axis of
 /// experiment E1.
@@ -129,6 +130,9 @@ pub struct Metal {
     pub layers: Vec<Layer>,
     /// Event counters.
     pub stats: MetalStats,
+    /// Per-mroutine transition accounting: entry counts and enter→exit
+    /// latency histograms, keyed by entry-table slot.
+    pub transitions: TransitionTable,
     config: MetalConfig,
     /// Stack of Metal-mode contexts (the layer each entry executes on
     /// behalf of). Empty = normal mode. Chained intercepts and nested
@@ -136,6 +140,9 @@ pub struct Metal {
     /// while saving/restoring `m31` across nested entries is software's
     /// responsibility (the reentrancy requirement of paper §3.5).
     mode_stack: Vec<usize>,
+    /// Parallel to `mode_stack`: the entry-table slot and entry cycle of
+    /// each in-flight transition, for latency attribution at `mexit`.
+    entry_stack: Vec<(u8, u64)>,
     /// Layer whose tables `mintercept`/`mlayer` currently target, and
     /// the layer attributed to `menter` entries.
     active_layer: usize,
@@ -152,8 +159,10 @@ impl Metal {
             mregs: MregFile::new(),
             layers: vec![Layer::default(); layers],
             stats: MetalStats::default(),
+            transitions: TransitionTable::new(),
             config,
             mode_stack: Vec::new(),
+            entry_stack: Vec::new(),
             active_layer: layers - 1,
         }
     }
@@ -209,11 +218,7 @@ impl Metal {
 
     /// Reads the first word of an entry's code and the decode-stall its
     /// dispatch costs.
-    fn dispatch_fetch(
-        &mut self,
-        state: &mut MachineState,
-        pc: u32,
-    ) -> Result<(u32, u32), Trap> {
+    fn dispatch_fetch(&mut self, state: &mut MachineState, pc: u32) -> Result<(u32, u32), Trap> {
         match self.config.dispatch {
             DispatchStyle::Mram => {
                 let word = self
@@ -272,11 +277,30 @@ impl Metal {
         self.mregs.set(31, return_pc);
         self.mregs.mcause = cause.encode();
         self.mregs.mentry = u32::from(entry);
-        let layer = match self.mode() {
-            Mode::Normal => self.active_layer,
-            Mode::Metal { layer } => layer,
+        let (layer, transition_cause) = match self.mode() {
+            Mode::Normal => (
+                self.active_layer,
+                match cause {
+                    EntryCause::Intercept => TransitionCause::Intercept,
+                    _ => TransitionCause::Call,
+                },
+            ),
+            Mode::Metal { layer } => (
+                layer,
+                match cause {
+                    EntryCause::Intercept => TransitionCause::Intercept,
+                    _ => TransitionCause::NestedCall,
+                },
+            ),
         };
         self.mode_stack.push(layer);
+        self.transitions.record_entry(entry);
+        self.entry_stack.push((entry, state.perf.cycles));
+        state.trace.emit(EventKind::MEnter {
+            entry,
+            cause: transition_cause,
+            pc,
+        });
         Ok(DecodeOutcome::Replace {
             word,
             pc,
@@ -306,8 +330,7 @@ impl Metal {
     /// lower to higher layers", §3.5; exceptions likewise reach the
     /// outermost software first, as with nested page tables).
     fn delegation_lookup(&self, cause: TrapCause) -> Option<(u8, usize)> {
-        (0..self.layers.len())
-            .find_map(|l| self.layers[l].delegation.lookup(cause).map(|e| (e, l)))
+        (0..self.layers.len()).find_map(|l| self.layers[l].delegation.lookup(cause).map(|e| (e, l)))
     }
 }
 
@@ -334,8 +357,7 @@ impl Hooks for Metal {
     }
 
     fn decode_is_sensitive(&self, _state: &MachineState, word: u32, insn: &Insn) -> bool {
-        matches!(insn, Insn::Menter { .. } | Insn::Mexit)
-            || self.intercept_lookup(word).is_some()
+        matches!(insn, Insn::Menter { .. } | Insn::Mexit) || self.intercept_lookup(word).is_some()
     }
 
     fn decode(
@@ -398,6 +420,11 @@ impl Hooks for Metal {
                 let target = self.mregs.return_address();
                 self.stats.mexits += 1;
                 self.mode_stack.pop();
+                if let Some((entry, entered_at)) = self.entry_stack.pop() {
+                    self.transitions
+                        .record_exit(entry, state.perf.cycles.saturating_sub(entered_at));
+                    state.trace.emit(EventKind::MExit { entry, target });
+                }
                 // A nested mexit unwinds into the *outer mroutine*, whose
                 // code lives in MRAM; only the outermost mexit returns to
                 // the normal fetch path.
@@ -474,6 +501,7 @@ impl Hooks for Metal {
                     .mram
                     .data_load(addr)
                     .map_err(|_| Trap::new(TrapCause::LoadAccessFault, addr))?;
+                state.trace.emit(EventKind::MramData { addr, write: false });
                 Ok(CustomExec {
                     writeback: Some(value),
                     extra_cycles: 0,
@@ -484,6 +512,7 @@ impl Hooks for Metal {
                 self.mram
                     .data_store(addr, rs2)
                     .map_err(|_| Trap::new(TrapCause::StoreAccessFault, addr))?;
+                state.trace.emit(EventKind::MramData { addr, write: true });
                 Ok(CustomExec::default())
             }
             Insn::March { op, .. } => self.exec_march(state, op, insn, rs1, rs2),
@@ -491,7 +520,7 @@ impl Hooks for Metal {
         }
     }
 
-    fn on_trap(&mut self, _state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
+    fn on_trap(&mut self, state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
         if let Mode::Metal { .. } = self.mode() {
             // A fault inside a non-interruptible mroutine: there is no
             // handler to recurse into. Static verification is supposed
@@ -504,15 +533,15 @@ impl Hooks for Metal {
         let Some(pc) = self.entry_pc(entry) else {
             return TrapDisposition::Fatal;
         };
-        let cause = match event.cause {
+        let (cause, transition_cause) = match event.cause {
             TrapCause::Interrupt(line) => {
                 self.stats.delegated_interrupts += 1;
                 self.mregs.soft_ipend |= 1 << line;
-                EntryCause::Interrupt(line)
+                (EntryCause::Interrupt(line), TransitionCause::Interrupt)
             }
             other => {
                 self.stats.delegated_exceptions += 1;
-                EntryCause::Exception(other)
+                (EntryCause::Exception(other), TransitionCause::Exception)
             }
         };
         self.mregs.set(31, event.pc);
@@ -520,6 +549,18 @@ impl Hooks for Metal {
         self.mregs.mbadaddr = event.tval;
         self.mregs.mentry = u32::from(entry);
         self.mode_stack.push(layer);
+        self.transitions.record_entry(entry);
+        self.entry_stack.push((entry, state.perf.cycles));
+        state.trace.emit(EventKind::TrapDelegated {
+            entry,
+            layer: layer as u8,
+            code: self.mregs.mcause,
+        });
+        state.trace.emit(EventKind::MEnter {
+            entry,
+            cause: transition_cause,
+            pc,
+        });
         // Delegated dispatch still reads the handler from MRAM next
         // fetch; charge only the non-MRAM penalty.
         let stall = match self.config.dispatch {
@@ -556,9 +597,7 @@ impl Metal {
                 exec.extra_cycles = latency.saturating_sub(1);
             }
             MarchOp::Mtlbw => {
-                state
-                    .tlb
-                    .install(rs1, metal_mem::tlb::Pte(rs2), state.asid);
+                state.tlb.install(rs1, metal_mem::tlb::Pte(rs2), state.asid);
             }
             MarchOp::Mtlbi => {
                 // `mtlbi x0` flushes the current ASID (register identity,
@@ -582,9 +621,7 @@ impl Metal {
                 state.tlb.set_key_perms(rs1, rs2);
             }
             MarchOp::Mintercept => {
-                let ok = self.layers[self.active_layer]
-                    .intercepts
-                    .program(rs1, rs2);
+                let ok = self.layers[self.active_layer].intercepts.program(rs1, rs2);
                 if !ok {
                     return Err(Trap::new(TrapCause::IllegalInstruction, rs1));
                 }
@@ -609,6 +646,25 @@ impl Metal {
             }
         }
         Ok(exec)
+    }
+
+    /// Publishes the extension's counters and per-mroutine transition
+    /// statistics (entry counts, enter→exit latency histograms) into
+    /// `snapshot`, alongside whatever the machine already wrote there.
+    pub fn publish_metrics(&self, snapshot: &mut MetricsSnapshot) {
+        snapshot.set_counter("metal.menters", self.stats.menters);
+        snapshot.set_counter("metal.mexits", self.stats.mexits);
+        snapshot.set_counter("metal.intercepts", self.stats.intercepts);
+        snapshot.set_counter(
+            "metal.delegated_exceptions",
+            self.stats.delegated_exceptions,
+        );
+        snapshot.set_counter(
+            "metal.delegated_interrupts",
+            self.stats.delegated_interrupts,
+        );
+        snapshot.set_counter("metal.nested_calls", self.stats.nested_calls);
+        self.transitions.publish(snapshot, "transition");
     }
 
     /// Installs an mroutine from pre-assembled words. Most callers use

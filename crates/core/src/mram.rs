@@ -83,12 +83,7 @@ impl Mram {
 
     /// Installs an mroutine's code at the next free offset and binds it
     /// to `entry`. Returns the mroutine's PC.
-    pub fn install(
-        &mut self,
-        entry: u8,
-        name: &str,
-        words: &[u32],
-    ) -> Result<u32, MetalError> {
+    pub fn install(&mut self, entry: u8, name: &str, words: &[u32]) -> Result<u32, MetalError> {
         if usize::from(entry) >= MAX_MROUTINES {
             return Err(MetalError::BadEntry { entry });
         }

@@ -2,13 +2,13 @@
 
 use metal_core::loader::MetalBuilder;
 use metal_core::mram::MRAM_BASE;
+use metal_core::Metal;
 use metal_core::{DispatchStyle, EntryCause, MetalConfig, MramConfig};
 use metal_isa::reg::Reg;
 use metal_mem::devices::{map, Timer};
 use metal_mem::CacheConfig;
 use metal_pipeline::state::{CoreConfig, TranslationMode};
 use metal_pipeline::{Core, HaltReason, TrapCause};
-use metal_core::Metal;
 
 fn perfect_cache() -> CacheConfig {
     CacheConfig {
@@ -41,7 +41,11 @@ fn menter_runs_mroutine_and_returns() {
         .routine(3, "triple", "slli t6, a0, 1\n add a0, a0, t6\n mexit")
         .build_core(core_config())
         .unwrap();
-    let halt = load_and_run(&mut core, "li a0, 5\n menter 3\n addi a0, a0, 1\n ebreak", 10_000);
+    let halt = load_and_run(
+        &mut core,
+        "li a0, 5\n menter 3\n addi a0, a0, 1\n ebreak",
+        10_000,
+    );
     assert_eq!(halt, Some(HaltReason::Ebreak { code: 16 }));
     assert_eq!(core.hooks.stats.menters, 1);
     assert_eq!(core.hooks.stats.mexits, 1);
@@ -68,7 +72,11 @@ fn m31_holds_return_address_and_is_writable() {
     // The mroutine redirects its return by rewriting m31 (skip the next
     // instruction after the call site).
     let mut core = MetalBuilder::new()
-        .routine(0, "skipper", "rmr t0, m31\n addi t0, t0, 4\n wmr m31, t0\n mexit")
+        .routine(
+            0,
+            "skipper",
+            "rmr t0, m31\n addi t0, t0, 4\n wmr m31, t0\n mexit",
+        )
         .build_core(core_config())
         .unwrap();
     let halt = load_and_run(
@@ -81,7 +89,13 @@ fn m31_holds_return_address_and_is_writable() {
 
 #[test]
 fn metal_mode_only_instructions_trap_in_normal_mode() {
-    for src in ["mexit", "rmr a0, m0", "wmr m0, a0", "mld a0, 0(zero)", "mpld a0, a1"] {
+    for src in [
+        "mexit",
+        "rmr a0, m0",
+        "wmr m0, a0",
+        "mld a0, 0(zero)",
+        "mpld a0, a1",
+    ] {
         let mut core = MetalBuilder::new()
             .routine(0, "noop", "mexit")
             .build_core(core_config())
@@ -152,11 +166,7 @@ fn mram_data_segment_persists_across_invocations() {
         )
         .build_core(core_config())
         .unwrap();
-    let halt = load_and_run(
-        &mut core,
-        "menter 4\n menter 4\n menter 4\n ebreak",
-        10_000,
-    );
+    let halt = load_and_run(&mut core, "menter 4\n menter 4\n menter 4\n ebreak", 10_000);
     assert_eq!(halt, Some(HaltReason::Ebreak { code: 3 }));
     // Host-side view agrees.
     assert_eq!(&core.hooks.mram.data()[0..4], &3u32.to_le_bytes());
@@ -195,7 +205,11 @@ fn exception_delegation_reaches_mroutine() {
         .delegate_exception(TrapCause::Ecall, 2)
         .build_core(core_config())
         .unwrap();
-    let halt = load_and_run(&mut core, "li a0, 8\n ecall\n addi a0, a0, 1\n ebreak", 10_000);
+    let halt = load_and_run(
+        &mut core,
+        "li a0, 8\n ecall\n addi a0, a0, 1\n ebreak",
+        10_000,
+    );
     assert_eq!(halt, Some(HaltReason::Ebreak { code: 17 }));
     assert_eq!(core.hooks.stats.delegated_exceptions, 1);
     // mcause MCR recorded the delegated cause.
@@ -589,9 +603,11 @@ fn soft_tlb_page_fault_delegation_refills() {
     // Identity-map the code page so fetch keeps working, then enable
     // SoftTlb translation.
     use metal_mem::tlb::Pte;
-    core.state
-        .tlb
-        .install(0x0, Pte::new(0x0, Pte::V | Pte::R | Pte::W | Pte::X | Pte::G), 0);
+    core.state.tlb.install(
+        0x0,
+        Pte::new(0x0, Pte::V | Pte::R | Pte::W | Pte::X | Pte::G),
+        0,
+    );
     core.state.translation = TranslationMode::SoftTlb;
     let halt = load_and_run(
         &mut core,
@@ -605,7 +621,10 @@ fn soft_tlb_page_fault_delegation_refills() {
         100_000,
     );
     assert_eq!(halt, Some(HaltReason::Ebreak { code: 123 }));
-    assert_eq!(core.hooks.stats.delegated_exceptions, 1, "one fault, one refill");
+    assert_eq!(
+        core.hooks.stats.delegated_exceptions, 1,
+        "one fault, one refill"
+    );
 }
 
 #[test]

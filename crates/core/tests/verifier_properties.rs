@@ -6,7 +6,7 @@ use metal_core::verify::{has_errors, verify_routine, Severity, VerifyContext};
 use metal_isa::insn::{AluOp, Cond, Insn};
 use metal_isa::reg::Reg;
 use metal_isa::{decode, encode};
-use proptest::prelude::*;
+use metal_util::Rng;
 
 const WINDOW: u32 = 0x4000;
 
@@ -19,70 +19,83 @@ fn ctx(nested: bool) -> VerifyContext {
     }
 }
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn rand_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 32) as u8).unwrap()
 }
 
 /// Instructions the verifier must always accept.
-fn arb_benign(len: usize) -> impl Strategy<Value = Vec<u32>> {
-    let insn = prop_oneof![
-        (arb_reg(), arb_reg(), -512i32..512).prop_map(|(rd, rs1, imm)| Insn::AluImm {
-            op: AluOp::Add,
-            rd,
-            rs1,
-            imm
-        }),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Insn::Alu {
-            op: AluOp::Xor,
-            rd,
-            rs1,
-            rs2
-        }),
-        (arb_reg(), 0u16..32).prop_map(|(rd, n)| Insn::Rmr {
-            rd,
-            idx: metal_isa::MregIdx::mreg(n as u8).unwrap()
-        }),
-        (arb_reg(), arb_reg(), -64i32..64)
-            .prop_map(|(rd, rs1, off)| Insn::Mld { rd, rs1, offset: off & !3 }),
-        Just(Insn::Fence),
-    ];
-    proptest::collection::vec(insn.prop_map(|i| encode(&i)), len..len + 1)
+fn rand_benign(rng: &mut Rng, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|_| {
+            let insn = match rng.range_u32(0, 5) {
+                0 => Insn::AluImm {
+                    op: AluOp::Add,
+                    rd: rand_reg(rng),
+                    rs1: rand_reg(rng),
+                    imm: rng.range_i32(-512, 512),
+                },
+                1 => Insn::Alu {
+                    op: AluOp::Xor,
+                    rd: rand_reg(rng),
+                    rs1: rand_reg(rng),
+                    rs2: rand_reg(rng),
+                },
+                2 => Insn::Rmr {
+                    rd: rand_reg(rng),
+                    idx: metal_isa::MregIdx::mreg(rng.range_u32(0, 32) as u8).unwrap(),
+                },
+                3 => Insn::Mld {
+                    rd: rand_reg(rng),
+                    rs1: rand_reg(rng),
+                    offset: rng.range_i32(-64, 64) & !3,
+                },
+                _ => Insn::Fence,
+            };
+            encode(&insn)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Benign bodies terminated by mexit verify cleanly (no errors).
-    #[test]
-    fn benign_routines_accepted(mut words in arb_benign(12)) {
+/// Benign bodies terminated by mexit verify cleanly (no errors).
+#[test]
+fn benign_routines_accepted() {
+    let mut rng = Rng::new(0x7e51_0001);
+    for _ in 0..256 {
+        let mut words = rand_benign(&mut rng, 12);
         words.push(encode(&Insn::Mexit));
         let issues = verify_routine(&words, &ctx(false));
-        prop_assert!(!has_errors(&issues), "{issues:?}");
+        assert!(!has_errors(&issues), "{issues:?}");
     }
+}
 
-    /// Inserting any environment instruction anywhere is an error.
-    #[test]
-    fn environment_instructions_rejected(
-        mut words in arb_benign(8),
-        pos in 0usize..8,
-        which in 0usize..3,
-    ) {
-        let bad = [Insn::Ecall, Insn::Mret, Insn::Wfi][which];
+/// Inserting any environment instruction anywhere is an error.
+#[test]
+fn environment_instructions_rejected() {
+    let mut rng = Rng::new(0x7e51_0002);
+    for _ in 0..256 {
+        let mut words = rand_benign(&mut rng, 8);
+        let pos = rng.range_usize(0, 8);
+        let bad = *rng.pick(&[Insn::Ecall, Insn::Mret, Insn::Wfi]);
         words.insert(pos, encode(&bad));
         words.push(encode(&Insn::Mexit));
         let issues = verify_routine(&words, &ctx(false));
-        prop_assert!(has_errors(&issues));
+        assert!(has_errors(&issues));
         // The error points at the exact offending offset.
-        prop_assert!(issues
+        assert!(issues
             .iter()
             .any(|i| i.severity == Severity::Error && i.offset == (pos as u32) * 4));
     }
+}
 
-    /// In-window branches are fine; any branch that escapes the MRAM
-    /// window is an error, wherever it sits.
-    #[test]
-    fn branch_window_enforced(len in 2usize..16, at in 0usize..16, escape in proptest::bool::ANY) {
-        let at = at % len;
+/// In-window branches are fine; any branch that escapes the MRAM
+/// window is an error, wherever it sits.
+#[test]
+fn branch_window_enforced() {
+    let mut rng = Rng::new(0x7e51_0003);
+    for _ in 0..256 {
+        let len = rng.range_usize(2, 16);
+        let at = rng.range_usize(0, 16) % len;
+        let escape = rng.chance();
         let mut words: Vec<u32> = (0..len).map(|_| encode(&Insn::NOP)).collect();
         let offset = if escape {
             // Below the window start (the routine sits at its base), and
@@ -100,30 +113,41 @@ proptest! {
         });
         words.push(encode(&Insn::Mexit));
         let issues = verify_routine(&words, &ctx(false));
-        prop_assert_eq!(has_errors(&issues), escape, "{:?}", issues);
+        assert_eq!(has_errors(&issues), escape, "{issues:?}");
     }
+}
 
-    /// The verifier never panics on arbitrary words and flags illegal
-    /// encodings as errors.
-    #[test]
-    fn total_on_garbage(words in proptest::collection::vec(any::<u32>(), 0..32)) {
+/// The verifier never panics on arbitrary words and flags illegal
+/// encodings as errors.
+#[test]
+fn total_on_garbage() {
+    let mut rng = Rng::new(0x7e51_0004);
+    for _ in 0..256 {
+        let words: Vec<u32> = (0..rng.range_usize(0, 32))
+            .map(|_| rng.next_u32())
+            .collect();
         let issues = verify_routine(&words, &ctx(false));
         for w in &words {
             if decode(*w).is_err() {
-                prop_assert!(has_errors(&issues));
+                assert!(has_errors(&issues));
                 break;
             }
         }
     }
+}
 
-    /// Nested menter flips from error to accepted when layers permit it.
-    #[test]
-    fn nested_gate(entry in 0u32..64) {
+/// Nested menter flips from error to accepted when layers permit it.
+#[test]
+fn nested_gate() {
+    for entry in 0u32..64 {
         let words = vec![
-            encode(&Insn::Menter { rs1: Reg::ZERO, entry }),
+            encode(&Insn::Menter {
+                rs1: Reg::ZERO,
+                entry,
+            }),
             encode(&Insn::Mexit),
         ];
-        prop_assert!(has_errors(&verify_routine(&words, &ctx(false))));
-        prop_assert!(!has_errors(&verify_routine(&words, &ctx(true))));
+        assert!(has_errors(&verify_routine(&words, &ctx(false))));
+        assert!(!has_errors(&verify_routine(&words, &ctx(true))));
     }
 }

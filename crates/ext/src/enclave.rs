@@ -225,9 +225,7 @@ mod tests {
     ";
 
     fn create_prologue() -> String {
-        format!(
-            "li a0, {ENC_PAGE:#x}\n li a1, 4096\n li a2, {ENC_PA:#x}\n menter 40\n"
-        )
+        format!("li a0, {ENC_PAGE:#x}\n li a1, 4096\n li a2, {ENC_PA:#x}\n menter 40\n")
     }
 
     #[test]
@@ -311,7 +309,11 @@ mod tests {
             panic!("unexpected halt {halt:?}");
         };
         // Host-level tamper (e.g. malicious DMA bypassing the key).
-        core.state.bus.ram.write_u32(ENC_PA + 64, 0xBAD0_C0DE).unwrap();
+        core.state
+            .bus
+            .ram
+            .write_u32(ENC_PA + 64, 0xBAD0_C0DE)
+            .unwrap();
         let src2 = "menter 43\n ebreak";
         let binary = crate::machine::assemble_guest(src2).unwrap();
         core.state.halted = None;

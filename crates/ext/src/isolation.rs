@@ -169,9 +169,7 @@ mod tests {
     }
 
     fn init_prologue() -> String {
-        format!(
-            "li a0, {VAULT_VA:#x}\n li a1, {VAULT_PA:#x}\n menter 24\n"
-        )
+        format!("li a0, {VAULT_VA:#x}\n li a1, {VAULT_PA:#x}\n menter 24\n")
     }
 
     #[test]

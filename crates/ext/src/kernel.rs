@@ -149,7 +149,12 @@ target:
         menter 0
         ";
         let (halt, _, _) = boot(user);
-        assert_eq!(halt, Some(HaltReason::Ebreak { code: VIOLATION_EXIT }));
+        assert_eq!(
+            halt,
+            Some(HaltReason::Ebreak {
+                code: VIOLATION_EXIT
+            })
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub fn asid_of(pid: u32) -> u32 {
 /// `t6`, set the ASID for `pid_reg`… the caller has already placed the
 /// PCB base in `t6` and the target pid in `t4`.
 fn emit_restore(out: &mut String) {
-    let _ = writeln!(out, "    # restore: ASID first, then every GPR from PCB(t6)");
+    let _ = writeln!(
+        out,
+        "    # restore: ASID first, then every GPR from PCB(t6)"
+    );
     let _ = writeln!(out, "    addi t5, t4, 1");
     let _ = writeln!(out, "    masid t5                  # asid = pid + 1");
     let _ = writeln!(out, "    addi t5, t6, {PCB_PC}");
@@ -85,7 +88,10 @@ fn emit_restore(out: &mut String) {
 #[must_use]
 pub fn switch_src() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "    # context switch: save current, load next, swap ASIDs.");
+    let _ = writeln!(
+        out,
+        "    # context switch: save current, load next, swap ASIDs."
+    );
     // Bounce the two address temporaries into MRAM data (x0-based, so
     // nothing is clobbered before it is saved).
     let _ = writeln!(out, "    mst t5, {BOUNCE_T5}(zero)");
@@ -121,7 +127,10 @@ pub fn switch_src() -> String {
     let _ = writeln!(out, "    mld t1, {QUANTUM}(zero)");
     let _ = writeln!(out, "    add t0, t0, t1");
     let _ = writeln!(out, "    li t5, {}", TIMER_BASE + 8);
-    let _ = writeln!(out, "    mpst t5, t0               # cmp = now + quantum (rearms)");
+    let _ = writeln!(
+        out,
+        "    mpst t5, t0               # cmp = now + quantum (rearms)"
+    );
     // t6 = PCB base of the incoming process (pid in t4).
     let _ = writeln!(out, "    slli t6, t4, 8");
     let _ = writeln!(out, "    li t5, {PCB_BASE}");
@@ -226,16 +235,12 @@ mod tests {
         for (pid, code_pa, data_pa) in [(0u32, P0_CODE_PA, P0_DATA_PA), (1, P1_CODE_PA, P1_DATA_PA)]
         {
             let asid = asid_of(pid) as u16;
-            core.state.tlb.install(
-                CODE_VA,
-                Pte::new(code_pa, Pte::V | Pte::R | Pte::X),
-                asid,
-            );
-            core.state.tlb.install(
-                DATA_VA,
-                Pte::new(data_pa, Pte::V | Pte::R | Pte::W),
-                asid,
-            );
+            core.state
+                .tlb
+                .install(CODE_VA, Pte::new(code_pa, Pte::V | Pte::R | Pte::X), asid);
+            core.state
+                .tlb
+                .install(DATA_VA, Pte::new(data_pa, Pte::V | Pte::R | Pte::W), asid);
         }
         core.state.translation = TranslationMode::SoftTlb;
         core

@@ -674,10 +674,10 @@ mod tests {
         // matches the paper's "under 100 instructions" scale.
         let total: usize = counts.iter().map(|(_, n)| n).sum();
         let stubs = 4 * 64; // four stub tables, 2 insns per register
-        // The paper reports "under 100 instructions"; our handlers carry
-        // full register save/restore and the word-size guard, landing at
-        // ~230 logic instructions plus the dispatch stubs. Same order of
-        // magnitude; EXPERIMENTS.md records the exact numbers.
+                            // The paper reports "under 100 instructions"; our handlers carry
+                            // full register save/restore and the word-size guard, landing at
+                            // ~230 logic instructions plus the dispatch stubs. Same order of
+                            // magnitude; EXPERIMENTS.md records the exact numbers.
         assert!(
             total - stubs < 260,
             "TL2 logic should stay small: total {total}, stubs {stubs}"

@@ -1,5 +1,8 @@
 fn main() {
-    let t = metal_hwcost::table2(&metal_hwcost::ProcessorConfig::paper(), &metal_hwcost::MetalHwConfig::paper());
+    let t = metal_hwcost::table2(
+        &metal_hwcost::ProcessorConfig::paper(),
+        &metal_hwcost::MetalHwConfig::paper(),
+    );
     println!("{}", t.render());
     println!("paper: wires +16.1%, cells +14.3%; baseline 170264/180546");
 }

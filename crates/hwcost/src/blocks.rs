@@ -5,7 +5,7 @@ use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul};
 
 /// Synthesis cost of a block: standard cells and wires.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Cost {
     /// Standard-cell count (NAND2-equivalent mapping).
     pub cells: u64,

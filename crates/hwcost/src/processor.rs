@@ -172,23 +172,14 @@ pub fn metal_block(cfg: &MetalHwConfig, xlen: u64) -> Component {
     Component::node(
         "metal",
         vec![
-            Component::leaf(
-                "mram_code",
-                lib::memory(cfg.mram_code_bytes / 4, 32, 1, 1),
-            ),
-            Component::leaf(
-                "mram_data",
-                lib::memory(cfg.mram_data_bytes / 4, 32, 1, 1),
-            ),
+            Component::leaf("mram_code", lib::memory(cfg.mram_code_bytes / 4, 32, 1, 1)),
+            Component::leaf("mram_data", lib::memory(cfg.mram_data_bytes / 4, 32, 1, 1)),
             Component::leaf("mreg_file", lib::memory(cfg.mreg_count, xlen, 1, 1)),
             Component::leaf(
                 "entry_table",
                 lib::memory(cfg.entry_slots, entry_bits, 1, 1),
             ),
-            Component::leaf(
-                "intercept_table",
-                lib::cam(cfg.intercept_slots, 32, 8),
-            ),
+            Component::leaf("intercept_table", lib::cam(cfg.intercept_slots, 32, 8)),
             Component::leaf("mcr_regs", lib::flops(6 * xlen)),
             Component::leaf("mode_unit", lib::random_logic(300)),
             Component::leaf("replace_unit", lib::random_logic(420)),
@@ -197,10 +188,7 @@ pub fn metal_block(cfg: &MetalHwConfig, xlen: u64) -> Component {
             // Cross-stage interconnect: Metal taps instruction fetch
             // (MRAM mux), decode (replacement path), execute (march
             // operand buses), and the trap unit — routing-dominated.
-            Component::leaf(
-                "stage_taps",
-                crate::blocks::Cost::new(210, 3100),
-            ),
+            Component::leaf("stage_taps", crate::blocks::Cost::new(210, 3100)),
         ],
     )
 }
@@ -238,8 +226,7 @@ mod tests {
         };
         let cfg = ProcessorConfig::paper();
         assert!(
-            metal_processor(&cfg, &big).total().cells
-                > metal_processor(&cfg, &small).total().cells
+            metal_processor(&cfg, &big).total().cells > metal_processor(&cfg, &small).total().cells
         );
     }
 

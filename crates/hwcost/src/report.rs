@@ -20,7 +20,7 @@ pub mod paper {
 }
 
 /// The reproduced Table 2.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Table2 {
     /// Baseline processor cost.
     pub baseline: Cost,
@@ -33,6 +33,25 @@ pub struct Table2 {
 }
 
 impl Table2 {
+    /// The machine-readable form used by `reproduce` output.
+    #[must_use]
+    pub fn to_json(&self) -> metal_util::Json {
+        use metal_util::Json;
+        use std::collections::BTreeMap;
+        let cost = |c: &Cost| {
+            let mut obj = BTreeMap::new();
+            obj.insert("cells".to_owned(), Json::Num(c.cells as f64));
+            obj.insert("wires".to_owned(), Json::Num(c.wires as f64));
+            Json::Obj(obj)
+        };
+        let mut obj = BTreeMap::new();
+        obj.insert("baseline".to_owned(), cost(&self.baseline));
+        obj.insert("metal".to_owned(), cost(&self.metal));
+        obj.insert("wires_pct".to_owned(), Json::Num(self.wires_pct));
+        obj.insert("cells_pct".to_owned(), Json::Num(self.cells_pct));
+        Json::Obj(obj)
+    }
+
     /// Renders the table in the paper's layout.
     #[must_use]
     pub fn render(&self) -> String {

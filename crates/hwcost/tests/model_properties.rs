@@ -4,84 +4,85 @@
 
 use metal_hwcost::processor::{metal_block, MetalHwConfig, ProcessorConfig};
 use metal_hwcost::{baseline_processor, metal_processor, table2};
-use proptest::prelude::*;
+use metal_util::Rng;
 
-fn arb_proc() -> impl Strategy<Value = ProcessorConfig> {
-    (
-        prop_oneof![Just(1024u64), Just(2048), Just(4096), Just(8192), Just(16384)],
-        prop_oneof![Just(1024u64), Just(2048), Just(4096), Just(8192)],
-        prop_oneof![Just(16u64), Just(32), Just(64)],
-        8u64..64,
-    )
-        .prop_map(|(icache_bytes, dcache_bytes, line_bytes, tlb_entries)| ProcessorConfig {
-            icache_bytes,
-            dcache_bytes,
-            line_bytes,
-            tlb_entries,
-            xlen: 32,
-        })
+fn rand_proc(rng: &mut Rng) -> ProcessorConfig {
+    ProcessorConfig {
+        icache_bytes: *rng.pick(&[1024u64, 2048, 4096, 8192, 16384]),
+        dcache_bytes: *rng.pick(&[1024u64, 2048, 4096, 8192]),
+        line_bytes: *rng.pick(&[16u64, 32, 64]),
+        tlb_entries: 8 + rng.below(56),
+        xlen: 32,
+    }
 }
 
-fn arb_metal() -> impl Strategy<Value = MetalHwConfig> {
-    (
-        prop_oneof![Just(256u64), Just(512), Just(1024), Just(2048), Just(4096)],
-        prop_oneof![Just(128u64), Just(256), Just(512)],
-        8u64..=64,
-        prop_oneof![Just(4u64), Just(8), Just(16)],
-    )
-        .prop_map(
-            |(mram_code_bytes, mram_data_bytes, entry_slots, intercept_slots)| MetalHwConfig {
-                mram_code_bytes,
-                mram_data_bytes,
-                mreg_count: 32,
-                entry_slots,
-                intercept_slots,
-            },
-        )
+fn rand_metal(rng: &mut Rng) -> MetalHwConfig {
+    MetalHwConfig {
+        mram_code_bytes: *rng.pick(&[256u64, 512, 1024, 2048, 4096]),
+        mram_data_bytes: *rng.pick(&[128u64, 256, 512]),
+        mreg_count: 32,
+        entry_slots: 8 + rng.below(57),
+        intercept_slots: *rng.pick(&[4u64, 8, 16]),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Metal is additive: total(metal processor) = total(baseline) +
-    /// total(metal block). Nothing is double-counted or dropped.
-    #[test]
-    fn metal_is_strictly_additive(p in arb_proc(), m in arb_metal()) {
+/// Metal is additive: total(metal processor) = total(baseline) +
+/// total(metal block). Nothing is double-counted or dropped.
+#[test]
+fn metal_is_strictly_additive() {
+    let mut rng = Rng::new(0x4c05_0001);
+    for _ in 0..128 {
+        let p = rand_proc(&mut rng);
+        let m = rand_metal(&mut rng);
         let base = baseline_processor(&p).total();
         let block = metal_block(&m, p.xlen).total();
         let combined = metal_processor(&p, &m).total();
-        prop_assert_eq!(combined.cells, base.cells + block.cells);
-        prop_assert_eq!(combined.wires, base.wires + block.wires);
+        assert_eq!(combined.cells, base.cells + block.cells);
+        assert_eq!(combined.wires, base.wires + block.wires);
     }
+}
 
-    /// Overheads are positive and finite for every geometry.
-    #[test]
-    fn overhead_positive(p in arb_proc(), m in arb_metal()) {
+/// Overheads are positive and finite for every geometry.
+#[test]
+fn overhead_positive() {
+    let mut rng = Rng::new(0x4c05_0002);
+    for _ in 0..128 {
+        let p = rand_proc(&mut rng);
+        let m = rand_metal(&mut rng);
         let t = table2(&p, &m);
-        prop_assert!(t.cells_pct > 0.0 && t.cells_pct < 400.0, "{:?}", t);
-        prop_assert!(t.wires_pct > 0.0 && t.wires_pct < 400.0, "{:?}", t);
+        assert!(t.cells_pct > 0.0 && t.cells_pct < 400.0, "{t:?}");
+        assert!(t.wires_pct > 0.0 && t.wires_pct < 400.0, "{t:?}");
     }
+}
 
-    /// Growing any Metal knob never reduces the Metal block's cost.
-    #[test]
-    fn metal_block_monotone(m in arb_metal()) {
+/// Growing any Metal knob never reduces the Metal block's cost.
+#[test]
+fn metal_block_monotone() {
+    let mut rng = Rng::new(0x4c05_0003);
+    for _ in 0..128 {
+        let m = rand_metal(&mut rng);
         let base = metal_block(&m, 32).total();
         let grow = |f: &dyn Fn(&mut MetalHwConfig)| {
             let mut bigger = m;
             f(&mut bigger);
             metal_block(&bigger, 32).total()
         };
-        prop_assert!(grow(&|c| c.mram_code_bytes *= 2).cells >= base.cells);
-        prop_assert!(grow(&|c| c.mram_data_bytes *= 2).cells >= base.cells);
-        prop_assert!(grow(&|c| c.entry_slots += 8).cells >= base.cells);
-        prop_assert!(grow(&|c| c.intercept_slots += 4).cells >= base.cells);
-        prop_assert!(grow(&|c| c.mreg_count += 8).cells >= base.cells);
+        assert!(grow(&|c| c.mram_code_bytes *= 2).cells >= base.cells);
+        assert!(grow(&|c| c.mram_data_bytes *= 2).cells >= base.cells);
+        assert!(grow(&|c| c.entry_slots += 8).cells >= base.cells);
+        assert!(grow(&|c| c.intercept_slots += 4).cells >= base.cells);
+        assert!(grow(&|c| c.mreg_count += 8).cells >= base.cells);
     }
+}
 
-    /// Growing the baseline (bigger caches) never increases the
-    /// *relative* Metal overhead — Table 2 is an upper bound.
-    #[test]
-    fn bigger_cores_dilute_the_overhead(p in arb_proc(), m in arb_metal()) {
+/// Growing the baseline (bigger caches) never increases the
+/// *relative* Metal overhead — Table 2 is an upper bound.
+#[test]
+fn bigger_cores_dilute_the_overhead() {
+    let mut rng = Rng::new(0x4c05_0004);
+    for _ in 0..128 {
+        let p = rand_proc(&mut rng);
+        let m = rand_metal(&mut rng);
         let small = table2(&p, &m);
         let bigger = ProcessorConfig {
             icache_bytes: p.icache_bytes * 2,
@@ -89,7 +90,7 @@ proptest! {
             ..p
         };
         let big = table2(&bigger, &m);
-        prop_assert!(
+        assert!(
             big.cells_pct <= small.cells_pct + 1e-9,
             "{} -> {}",
             small.cells_pct,

@@ -594,10 +594,9 @@ impl Insn {
                 | MarchOp::Masid
                 | MarchOp::Miack
                 | MarchOp::Mlayer => [nz(rs1), None],
-                MarchOp::Mpst
-                | MarchOp::Mtlbw
-                | MarchOp::Mpkey
-                | MarchOp::Mintercept => [nz(rs1), nz(rs2)],
+                MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept => {
+                    [nz(rs1), nz(rs2)]
+                }
                 MarchOp::Mipend | MarchOp::Mtlbiall => [None, None],
             },
             _ => [None, None],

@@ -381,9 +381,9 @@ impl fmt::Display for InterceptSelector {
                 funct3,
                 funct7: Some(f7),
             } => write!(f, "exact[{opcode:#04x}.{funct3}.{f7:#04x}]"),
-            InterceptSelector::Exact {
-                opcode, funct3, ..
-            } => write!(f, "exact[{opcode:#04x}.{funct3}]"),
+            InterceptSelector::Exact { opcode, funct3, .. } => {
+                write!(f, "exact[{opcode:#04x}.{funct3}]")
+            }
         }
     }
 }

@@ -5,165 +5,199 @@ use metal_isa::insn::{AluOp, Cond, CsrOp, CsrSrc, Insn, LoadOp, MulOp, StoreOp};
 use metal_isa::metal::{MarchOp, MENTER_INDIRECT};
 use metal_isa::reg::{MregIdx, Reg};
 use metal_isa::{decode, encode, try_encode};
-use proptest::prelude::*;
+use metal_util::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn rand_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 32) as u8).unwrap()
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ge),
-        Just(Cond::Ltu),
-        Just(Cond::Geu),
-    ]
+fn rand_cond(rng: &mut Rng) -> Cond {
+    *rng.pick(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu])
 }
 
-fn arb_alu_reg_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
+fn rand_alu_reg_op(rng: &mut Rng) -> AluOp {
+    *rng.pick(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
 }
 
-fn arb_alu_imm() -> impl Strategy<Value = Insn> {
-    (arb_alu_reg_op(), arb_reg(), arb_reg(), -2048i32..2048).prop_filter_map(
-        "sub-immediate has no encoding",
-        |(op, rd, rs1, imm)| {
-            let imm = match op {
-                AluOp::Sub => return None,
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),
-                _ => imm,
-            };
-            Some(Insn::AluImm { op, rd, rs1, imm })
-        },
-    )
-}
-
-fn arb_mul_op() -> impl Strategy<Value = MulOp> {
-    (0u32..8).prop_map(|f3| MulOp::from_funct3(f3).unwrap())
-}
-
-fn arb_march_op() -> impl Strategy<Value = MarchOp> {
-    proptest::sample::select(MarchOp::all().to_vec())
-}
-
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Insn::Lui { rd, imm20 }),
-        (arb_reg(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Insn::Auipc { rd, imm20 }),
-        (arb_reg(), -(1i32 << 20)..(1 << 20))
-            .prop_map(|(rd, half)| Insn::Jal { rd, offset: half & !1 }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Insn::Jalr { rd, rs1, offset }),
-        (arb_cond(), arb_reg(), arb_reg(), -4096i32..4096).prop_map(
-            |(cond, rs1, rs2, off)| Insn::Branch { cond, rs1, rs2, offset: off & !1 }
-        ),
-        (
-            prop_oneof![
-                Just(LoadOp::Lb),
-                Just(LoadOp::Lh),
-                Just(LoadOp::Lw),
-                Just(LoadOp::Lbu),
-                Just(LoadOp::Lhu)
-            ],
-            arb_reg(),
-            arb_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(op, rd, rs1, offset)| Insn::Load { op, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)],
-            arb_reg(),
-            arb_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(op, rs2, rs1, offset)| Insn::Store { op, rs2, rs1, offset }),
-        arb_alu_imm(),
-        (arb_alu_reg_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
-        (arb_mul_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Insn::MulDiv { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
-            arb_reg(),
-            0u16..(1 << 12),
-            prop_oneof![
-                arb_reg().prop_map(CsrSrc::Reg),
-                (0u8..32).prop_map(CsrSrc::Imm)
-            ]
-        )
-            .prop_map(|(op, rd, csr, src)| Insn::Csr { op, rd, csr, src }),
-        Just(Insn::Ecall),
-        Just(Insn::Ebreak),
-        Just(Insn::Mret),
-        Just(Insn::Wfi),
-        Just(Insn::Fence),
-        (arb_reg(), prop_oneof![(0u32..64), Just(MENTER_INDIRECT)]).prop_map(|(rs1, entry)| {
-            // rs1 is canonicalized away for direct entries.
-            let rs1 = if entry == MENTER_INDIRECT { rs1 } else { Reg::ZERO };
-            Insn::Menter { rs1, entry }
-        }),
-        Just(Insn::Mexit),
-        (arb_reg(), 0u16..0x40A).prop_map(|(rd, idx)| Insn::Rmr {
-            rd,
-            idx: MregIdx::from_field(u32::from(idx))
-        }),
-        (arb_reg(), 0u16..0x40A).prop_map(|(rs1, idx)| Insn::Wmr {
-            rs1,
-            idx: MregIdx::from_field(u32::from(idx))
-        }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Insn::Mld { rd, rs1, offset }),
-        (arb_reg(), arb_reg(), -2048i32..2048)
-            .prop_map(|(rs2, rs1, offset)| Insn::Mst { rs2, rs1, offset }),
-        (arb_march_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
-            // Canonicalize unused register fields the way decode does.
-            decode(encode(&Insn::March { op, rd, rs1, rs2 })).unwrap()
-        }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// Every canonical instruction encodes, and decoding the encoding
-    /// yields the instruction back.
-    #[test]
-    fn encode_decode_roundtrip(insn in arb_insn()) {
-        let word = encode(&insn);
-        prop_assert_eq!(decode(word), Ok(insn));
+fn rand_alu_imm(rng: &mut Rng) -> Insn {
+    // sub-immediate has no encoding; shifts take 5-bit amounts.
+    let op = loop {
+        let op = rand_alu_reg_op(rng);
+        if op != AluOp::Sub {
+            break op;
+        }
+    };
+    let imm = rng.range_i32(-2048, 2048);
+    let imm = match op {
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),
+        _ => imm,
+    };
+    Insn::AluImm {
+        op,
+        rd: rand_reg(rng),
+        rs1: rand_reg(rng),
+        imm,
     }
+}
 
-    /// Decoding is total (never panics) and re-encoding a successfully
-    /// decoded word reproduces the canonical semantics: decode(encode(
-    /// decode(w))) == decode(w).
-    #[test]
-    fn decode_is_stable(word in any::<u32>()) {
+fn rand_insn(rng: &mut Rng) -> Insn {
+    match rng.range_u32(0, 21) {
+        0 => Insn::Lui {
+            rd: rand_reg(rng),
+            imm20: rng.range_u32(0, 1 << 20),
+        },
+        1 => Insn::Auipc {
+            rd: rand_reg(rng),
+            imm20: rng.range_u32(0, 1 << 20),
+        },
+        2 => Insn::Jal {
+            rd: rand_reg(rng),
+            offset: rng.range_i32(-(1 << 20), 1 << 20) & !1,
+        },
+        3 => Insn::Jalr {
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            offset: rng.range_i32(-2048, 2048),
+        },
+        4 => Insn::Branch {
+            cond: rand_cond(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+            offset: rng.range_i32(-4096, 4096) & !1,
+        },
+        5 => Insn::Load {
+            op: *rng.pick(&[LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu]),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            offset: rng.range_i32(-2048, 2048),
+        },
+        6 => Insn::Store {
+            op: *rng.pick(&[StoreOp::Sb, StoreOp::Sh, StoreOp::Sw]),
+            rs2: rand_reg(rng),
+            rs1: rand_reg(rng),
+            offset: rng.range_i32(-2048, 2048),
+        },
+        7 => rand_alu_imm(rng),
+        8 => Insn::Alu {
+            op: rand_alu_reg_op(rng),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+        },
+        9 => Insn::MulDiv {
+            op: MulOp::from_funct3(rng.range_u32(0, 8)).unwrap(),
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+        },
+        10 => Insn::Csr {
+            op: *rng.pick(&[CsrOp::Rw, CsrOp::Rs, CsrOp::Rc]),
+            rd: rand_reg(rng),
+            csr: rng.range_u32(0, 1 << 12) as u16,
+            src: if rng.chance() {
+                CsrSrc::Reg(rand_reg(rng))
+            } else {
+                CsrSrc::Imm(rng.range_u32(0, 32) as u8)
+            },
+        },
+        11 => Insn::Ecall,
+        12 => Insn::Ebreak,
+        13 => Insn::Mret,
+        14 => Insn::Wfi,
+        15 => Insn::Fence,
+        16 => {
+            let entry = if rng.chance() {
+                MENTER_INDIRECT
+            } else {
+                rng.range_u32(0, 64)
+            };
+            // rs1 is canonicalized away for direct entries.
+            let rs1 = if entry == MENTER_INDIRECT {
+                rand_reg(rng)
+            } else {
+                Reg::ZERO
+            };
+            Insn::Menter { rs1, entry }
+        }
+        17 => Insn::Mexit,
+        18 => Insn::Rmr {
+            rd: rand_reg(rng),
+            idx: MregIdx::from_field(rng.range_u32(0, 0x40A)),
+        },
+        19 => Insn::Wmr {
+            rs1: rand_reg(rng),
+            idx: MregIdx::from_field(rng.range_u32(0, 0x40A)),
+        },
+        _ => match rng.range_u32(0, 3) {
+            0 => Insn::Mld {
+                rd: rand_reg(rng),
+                rs1: rand_reg(rng),
+                offset: rng.range_i32(-2048, 2048),
+            },
+            1 => Insn::Mst {
+                rs2: rand_reg(rng),
+                rs1: rand_reg(rng),
+                offset: rng.range_i32(-2048, 2048),
+            },
+            // Canonicalize unused register fields the way decode does.
+            _ => decode(encode(&Insn::March {
+                op: *rng.pick(&MarchOp::all()),
+                rd: rand_reg(rng),
+                rs1: rand_reg(rng),
+                rs2: rand_reg(rng),
+            }))
+            .unwrap(),
+        },
+    }
+}
+
+/// Every canonical instruction encodes, and decoding the encoding
+/// yields the instruction back.
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = Rng::new(0x15a0_0001);
+    for _ in 0..2048 {
+        let insn = rand_insn(&mut rng);
+        let word = encode(&insn);
+        assert_eq!(decode(word), Ok(insn), "word {word:#010x}");
+    }
+}
+
+/// Decoding is total (never panics) and re-encoding a successfully
+/// decoded word reproduces the canonical semantics:
+/// decode(encode(decode(w))) == decode(w).
+#[test]
+fn decode_is_stable() {
+    let mut rng = Rng::new(0x15a0_0002);
+    for _ in 0..4096 {
+        let word = rng.next_u32();
         if let Ok(insn) = decode(word) {
             if let Ok(reencoded) = try_encode(&insn) {
-                prop_assert_eq!(decode(reencoded), Ok(insn));
+                assert_eq!(decode(reencoded), Ok(insn), "word {word:#010x}");
             }
         }
     }
+}
 
-    /// The disassembly of any canonical instruction is non-empty and
-    /// starts with a known mnemonic character.
-    #[test]
-    fn disasm_never_empty(insn in arb_insn()) {
+/// The disassembly of any canonical instruction is non-empty ASCII.
+#[test]
+fn disasm_never_empty() {
+    let mut rng = Rng::new(0x15a0_0003);
+    for _ in 0..2048 {
+        let insn = rand_insn(&mut rng);
         let text = metal_isa::disassemble(&insn);
-        prop_assert!(!text.is_empty());
-        prop_assert!(text.is_ascii());
+        assert!(!text.is_empty());
+        assert!(text.is_ascii());
     }
 }

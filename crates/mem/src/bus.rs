@@ -1,6 +1,7 @@
 //! The physical address space: RAM plus memory-mapped devices.
 
 use crate::{MemError, PhysMemory};
+use metal_trace::{EventKind, TraceHandle};
 
 /// Base of the MMIO window. Everything below is RAM-or-fault.
 pub const MMIO_BASE: u32 = 0xF000_0000;
@@ -36,6 +37,8 @@ pub struct Bus {
     /// System RAM at physical address 0.
     pub ram: PhysMemory,
     windows: Vec<Window>,
+    /// Event sink; disabled by default.
+    pub trace: TraceHandle,
 }
 
 impl Bus {
@@ -45,6 +48,7 @@ impl Bus {
         Bus {
             ram: PhysMemory::new(ram_bytes),
             windows: Vec::new(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -85,7 +89,10 @@ impl Bus {
                 if !addr.is_multiple_of(4) {
                     return Err(MemError::Misaligned { addr });
                 }
-                w.device.read(off)
+                let result = w.device.read(off);
+                self.trace
+                    .emit(EventKind::MmioAccess { addr, write: false });
+                result
             }
             None => Err(MemError::OutOfBounds { addr }),
         }
@@ -101,7 +108,9 @@ impl Bus {
                 if !addr.is_multiple_of(4) {
                     return Err(MemError::Misaligned { addr });
                 }
-                w.device.write(off, value)
+                let result = w.device.write(off, value);
+                self.trace.emit(EventKind::MmioAccess { addr, write: true });
+                result
             }
             None => Err(MemError::OutOfBounds { addr }),
         }
@@ -265,10 +274,7 @@ mod tests {
         assert_eq!(b.read_u32(MMIO_BASE), Ok(7));
         b.write_u32(MMIO_BASE, 42).unwrap();
         assert_eq!(b.read_u32(MMIO_BASE), Ok(42));
-        assert_eq!(
-            b.read_u32(MMIO_BASE + 8),
-            Err(MemError::Device { addr: 8 })
-        );
+        assert_eq!(b.read_u32(MMIO_BASE + 8), Err(MemError::Device { addr: 8 }));
     }
 
     #[test]
@@ -280,7 +286,9 @@ mod tests {
         );
         assert_eq!(
             b.read_u32(MMIO_BASE + 0x1000),
-            Err(MemError::OutOfBounds { addr: MMIO_BASE + 0x1000 })
+            Err(MemError::OutOfBounds {
+                addr: MMIO_BASE + 0x1000
+            })
         );
     }
 

@@ -52,7 +52,10 @@ impl Cache {
     /// Panics if the geometry is not a power-of-two line count.
     #[must_use]
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             config.size_bytes.is_multiple_of(config.line_bytes),
             "size must be a multiple of the line size"

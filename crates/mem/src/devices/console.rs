@@ -1,8 +1,8 @@
 //! A write-only MMIO console.
 
 use crate::bus::Device;
+use crate::sync::Mutex;
 use crate::MemError;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Register offsets.

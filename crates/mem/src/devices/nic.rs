@@ -10,9 +10,8 @@
 
 use crate::bus::Device;
 use crate::devices::map::NIC_IRQ;
+use crate::sync::Mutex;
 use crate::MemError;
-use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -28,14 +27,14 @@ const REG_ARRIVAL_HI: u32 = 0x18;
 #[derive(Clone, Debug)]
 struct Scheduled {
     arrival: u64,
-    data: Bytes,
+    data: Vec<u8>,
 }
 
 /// A received-but-unacknowledged packet.
 #[derive(Clone, Debug)]
 struct Queued {
     arrival: u64,
-    data: Bytes,
+    data: Vec<u8>,
     read_pos: usize,
 }
 
@@ -60,10 +59,13 @@ impl NicHandle {
     /// # Panics
     ///
     /// Panics if `arrival` is earlier than a previously scheduled packet.
-    pub fn schedule(&self, arrival: u64, data: impl Into<Bytes>) {
+    pub fn schedule(&self, arrival: u64, data: impl Into<Vec<u8>>) {
         let mut shared = self.shared.lock();
         if let Some(last) = shared.schedule.back() {
-            assert!(arrival >= last.arrival, "arrivals must be scheduled in order");
+            assert!(
+                arrival >= last.arrival,
+                "arrivals must be scheduled in order"
+            );
         }
         shared.schedule.push_back(Scheduled {
             arrival,
@@ -166,11 +168,7 @@ impl Device for Nic {
     fn tick(&mut self, cycle: u64) {
         self.now = cycle;
         let mut shared = self.shared.lock();
-        while shared
-            .schedule
-            .front()
-            .is_some_and(|p| p.arrival <= cycle)
-        {
+        while shared.schedule.front().is_some_and(|p| p.arrival <= cycle) {
             let p = shared.schedule.pop_front().expect("checked non-empty");
             self.queue.push_back(Queued {
                 arrival: p.arrival,

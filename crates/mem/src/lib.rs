@@ -18,6 +18,7 @@ pub mod bus;
 pub mod cache;
 pub mod devices;
 pub mod phys;
+pub mod sync;
 pub mod tlb;
 pub mod walker;
 

@@ -135,7 +135,10 @@ mod tests {
         let mut m = PhysMemory::new(8);
         assert_eq!(m.read_u32(8), Err(MemError::OutOfBounds { addr: 8 }));
         assert_eq!(m.read_u32(6), Err(MemError::OutOfBounds { addr: 6 }));
-        assert_eq!(m.write_u32(0xFFFF_FFFC, 0), Err(MemError::OutOfBounds { addr: 0xFFFF_FFFC }));
+        assert_eq!(
+            m.write_u32(0xFFFF_FFFC, 0),
+            Err(MemError::OutOfBounds { addr: 0xFFFF_FFFC })
+        );
         assert!(m.read_u8(7).is_ok());
     }
 

@@ -8,6 +8,7 @@
 //! `mtlbw` — that is the "custom page tables" application (§3.2).
 
 use crate::{page_number, page_offset, PAGE_SHIFT};
+use metal_trace::{EventKind, TlbOutcome, TraceHandle};
 
 /// Access type used for permission checks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -158,6 +159,8 @@ pub struct Tlb {
     pub lookups: u64,
     /// Statistics: hits.
     pub hits: u64,
+    /// Event sink; disabled by default.
+    pub trace: TraceHandle,
 }
 
 impl Tlb {
@@ -172,6 +175,7 @@ impl Tlb {
             clock: 0,
             lookups: 0,
             hits: 0,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -185,23 +189,28 @@ impl Tlb {
     ///
     /// On success returns the physical address and marks the entry
     /// most-recently-used.
-    pub fn translate(
-        &mut self,
-        va: u32,
-        asid: u16,
-        kind: AccessKind,
-    ) -> Result<u32, TlbFault> {
+    pub fn translate(&mut self, va: u32, asid: u16, kind: AccessKind) -> Result<u32, TlbFault> {
         self.lookups += 1;
         self.clock += 1;
         let vpn = page_number(va);
         let clock = self.clock;
         let Some(slot) = self.find(vpn, asid) else {
+            self.trace.emit(EventKind::TlbLookup {
+                va,
+                outcome: TlbOutcome::Miss,
+            });
             return Err(TlbFault::Miss);
         };
-        let entry = self.entries[slot].as_mut().expect("find returned occupied slot");
+        let entry = self.entries[slot]
+            .as_mut()
+            .expect("find returned occupied slot");
         entry.stamp = clock;
         let pte = entry.pte;
         if !pte.permits(kind) {
+            self.trace.emit(EventKind::TlbLookup {
+                va,
+                outcome: TlbOutcome::Protection,
+            });
             return Err(TlbFault::Protection);
         }
         let key = pte.key() as usize;
@@ -212,17 +221,23 @@ impl Tlb {
             AccessKind::Execute => true,
         };
         if !key_ok {
+            self.trace.emit(EventKind::TlbLookup {
+                va,
+                outcome: TlbOutcome::KeyViolation,
+            });
             return Err(TlbFault::KeyViolation);
         }
         self.hits += 1;
+        self.trace.emit(EventKind::TlbLookup {
+            va,
+            outcome: TlbOutcome::Hit,
+        });
         Ok(pte.phys_base() | page_offset(va))
     }
 
     fn find(&self, vpn: u32, asid: u16) -> Option<usize> {
         self.entries.iter().position(|e| {
-            e.is_some_and(|e| {
-                e.vpn == vpn && e.pte.valid() && (e.pte.global() || e.asid == asid)
-            })
+            e.is_some_and(|e| e.vpn == vpn && e.pte.valid() && (e.pte.global() || e.asid == asid))
         })
     }
 

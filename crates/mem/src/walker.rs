@@ -94,7 +94,11 @@ impl Walker {
         let mut dir_entry = Pte(mem.read_u32(dir_entry_addr)?);
         if !dir_entry.valid() {
             let table = alloc();
-            debug_assert_eq!(table & 0xFFF, 0, "allocator must return page-aligned tables");
+            debug_assert_eq!(
+                table & 0xFFF,
+                0,
+                "allocator must return page-aligned tables"
+            );
             // Zero the new leaf table.
             for i in 0..1024 {
                 mem.write_u32(table + i * 4, 0)?;
@@ -142,7 +146,13 @@ mod tests {
     fn map_then_walk() {
         let (mut mem, walker, mut alloc) = setup();
         walker
-            .map(&mut mem, 0x0040_3000, 0x0009_A000, Pte::R | Pte::W, &mut alloc)
+            .map(
+                &mut mem,
+                0x0040_3000,
+                0x0009_A000,
+                Pte::R | Pte::W,
+                &mut alloc,
+            )
             .unwrap();
         let (result, accesses) = walker.walk(&mem, 0x0040_3ABC).unwrap();
         assert_eq!(accesses, 2);

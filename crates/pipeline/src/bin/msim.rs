@@ -1,23 +1,26 @@
 //! `msim` — run a flat binary image on the pipelined core.
 //!
 //! ```text
-//! msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf]
+//! msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N]
+//!      [--perf] [--trace out.json] [--metrics out.json]
 //! ```
 //!
 //! Runs the baseline (non-Metal) core with a console at 0xF0000000 and
 //! a timer at 0xF0000100. Exits with the guest's `ebreak` code.
+//!
+//! `--trace` records the run as a Chrome trace-event file (open it in
+//! `chrome://tracing` or Perfetto); `--metrics` writes the unified
+//! metrics snapshot (cycles, instret, stall breakdown, cache/TLB hit
+//! rates) as JSON. Neither flag perturbs architectural state or cycle
+//! counts.
 
 use metal_mem::devices::{map, Console, Timer};
-use metal_pipeline::{Core, CoreConfig, HaltReason, NoHooks};
+use metal_pipeline::{Core, CoreConfig, HaltReason, NoHooks, TracingHooks};
+use metal_trace::{TraceConfig, TraceHandle};
+use metal_util::cli::{parse_num, usage};
 use std::process::ExitCode;
 
-fn parse_num(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
-    }
-}
+const USAGE: &str = "msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf] [--trace out.json] [--metrics out.json]";
 
 fn main() -> ExitCode {
     let mut input: Option<String> = None;
@@ -25,31 +28,41 @@ fn main() -> ExitCode {
     let mut entry: Option<u32> = None;
     let mut max_cycles = 100_000_000u64;
     let mut perf = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--base" => match args.next().and_then(|v| parse_num(&v)) {
                 Some(v) => base = v as u32,
-                None => return usage("bad --base"),
+                None => return usage("msim", USAGE, "bad --base"),
             },
             "--entry" => match args.next().and_then(|v| parse_num(&v)) {
                 Some(v) => entry = Some(v as u32),
-                None => return usage("bad --entry"),
+                None => return usage("msim", USAGE, "bad --entry"),
             },
             "--max-cycles" => match args.next().and_then(|v| parse_num(&v)) {
                 Some(v) => max_cycles = v,
-                None => return usage("bad --max-cycles"),
+                None => return usage("msim", USAGE, "bad --max-cycles"),
             },
             "--perf" => perf = true,
-            "-h" | "--help" => return usage(""),
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => return usage("msim", USAGE, "missing argument to --trace"),
+            },
+            "--metrics" => match args.next() {
+                Some(path) => metrics_path = Some(path),
+                None => return usage("msim", USAGE, "missing argument to --metrics"),
+            },
+            "-h" | "--help" => return usage("msim", USAGE, ""),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_owned());
             }
-            other => return usage(&format!("unknown argument {other:?}")),
+            other => return usage("msim", USAGE, &format!("unknown argument {other:?}")),
         }
     }
     let Some(input) = input else {
-        return usage("no input image");
+        return usage("msim", USAGE, "no input image");
     };
     let image = match std::fs::read(&input) {
         Ok(image) => image,
@@ -58,7 +71,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut core = Core::new(CoreConfig::default(), NoHooks);
+    let mut core = Core::new(CoreConfig::default(), TracingHooks::new(NoHooks));
+    if trace_path.is_some() {
+        core.state
+            .set_trace(TraceHandle::enabled(TraceConfig::default()));
+    }
     let (console, out) = Console::new();
     core.state
         .bus
@@ -84,6 +101,44 @@ fn main() -> ExitCode {
             p.loaduse_stall,
             p.flush_cycles
         );
+        let pct = |hits: u64, total: u64| {
+            if total == 0 {
+                100.0
+            } else {
+                hits as f64 / total as f64 * 100.0
+            }
+        };
+        let icache = &core.state.icache;
+        let dcache = &core.state.dcache;
+        let tlb = &core.state.tlb;
+        eprintln!(
+            "icache {}/{} hits ({:.1}%) | dcache {}/{} hits ({:.1}%) | tlb {}/{} hits ({:.1}%), {} hw refills",
+            icache.accesses - icache.misses,
+            icache.accesses,
+            icache.hit_rate() * 100.0,
+            dcache.accesses - dcache.misses,
+            dcache.accesses,
+            dcache.hit_rate() * 100.0,
+            tlb.hits,
+            tlb.lookups,
+            pct(tlb.hits, tlb.lookups),
+            core.state.perf.hw_refills,
+        );
+    }
+    if let Some(path) = &trace_path {
+        if let Err(e) = std::fs::write(path, core.state.trace.export_chrome()) {
+            eprintln!("msim: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("msim: wrote trace to {path}");
+    }
+    if let Some(path) = &metrics_path {
+        let snapshot = core.state.metrics_snapshot();
+        if let Err(e) = std::fs::write(path, snapshot.to_json_string()) {
+            eprintln!("msim: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("msim: wrote metrics to {path}");
     }
     match halt {
         Some(HaltReason::Ebreak { code }) => {
@@ -98,17 +153,5 @@ fn main() -> ExitCode {
             eprintln!("msim: cycle limit ({max_cycles}) reached");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn usage(err: &str) -> ExitCode {
-    if !err.is_empty() {
-        eprintln!("msim: {err}");
-    }
-    eprintln!("usage: msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf]");
-    if err.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
     }
 }

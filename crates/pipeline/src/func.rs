@@ -209,7 +209,10 @@ impl<H: Hooks> Interp<H> {
                 self.retire_wb(pc, insn, rd, fallthrough, target);
             }
             Insn::Branch {
-                cond, rs1, rs2, offset,
+                cond,
+                rs1,
+                rs2,
+                offset,
             } => {
                 let taken = cond.eval(regs.get(rs1), regs.get(rs2));
                 let next = if taken {
@@ -219,7 +222,12 @@ impl<H: Hooks> Interp<H> {
                 };
                 self.retire(pc, insn, next);
             }
-            Insn::Load { op, rd, rs1, offset } => {
+            Insn::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = regs.get(rs1).wrapping_add(offset as u32);
                 match self.state.load(addr, op) {
                     Ok((v, _)) => self.retire_wb(pc, insn, rd, v, fallthrough),
@@ -227,7 +235,10 @@ impl<H: Hooks> Interp<H> {
                 }
             }
             Insn::Store {
-                op, rs2, rs1, offset,
+                op,
+                rs2,
+                rs1,
+                offset,
             } => {
                 let addr = regs.get(rs1).wrapping_add(offset as u32);
                 let value = regs.get(rs2);
@@ -236,7 +247,12 @@ impl<H: Hooks> Interp<H> {
                     Err(trap) => self.handle_trap(trap.cause, trap.tval, pc),
                 }
             }
-            Insn::Csr { op, rd, csr: addr, src } => {
+            Insn::Csr {
+                op,
+                rd,
+                csr: addr,
+                src,
+            } => {
                 let Some(old) = self.state.csr.read(addr, &self.state.perf) else {
                     self.handle_trap(TrapCause::IllegalInstruction, word, pc);
                     return;
@@ -394,7 +410,10 @@ mod tests {
         let mut interp = program(&[0xFFFF_FFFF, 0, encode(&Insn::Ebreak)]);
         interp.state.csr.mtvec = 8;
         interp.run(10);
-        assert_eq!(interp.state.csr.mcause, TrapCause::IllegalInstruction.code());
+        assert_eq!(
+            interp.state.csr.mcause,
+            TrapCause::IllegalInstruction.code()
+        );
         assert_eq!(interp.state.csr.mtval, 0xFFFF_FFFF);
     }
 }

@@ -168,13 +168,8 @@ mod tests {
         assert!(h.fetch(&mut m, 0).is_none());
         assert!(h.interrupts_allowed(&m));
         let insn = Insn::Mexit;
-        assert_eq!(
-            h.decode(&mut m, 0, 0, &insn),
-            DecodeOutcome::Pass
-        );
-        let err = h
-            .exec_custom(&mut m, 0, 0xABCD, &insn, 0, 0)
-            .unwrap_err();
+        assert_eq!(h.decode(&mut m, 0, 0, &insn), DecodeOutcome::Pass);
+        let err = h.exec_custom(&mut m, 0, 0xABCD, &insn, 0, 0).unwrap_err();
         assert_eq!(err.cause, TrapCause::IllegalInstruction);
         assert_eq!(err.tval, 0xABCD);
         let ev = TrapEvent {

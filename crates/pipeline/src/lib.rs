@@ -18,6 +18,7 @@ pub mod func;
 pub mod hooks;
 pub mod pipeline;
 pub mod state;
+pub mod tracing;
 pub mod trap;
 
 pub use func::Interp;
@@ -26,4 +27,5 @@ pub use pipeline::Core;
 pub use state::{
     CoreConfig, CsrFile, HaltReason, MachineState, PerfCounters, RegFile, TranslationMode,
 };
+pub use tracing::TracingHooks;
 pub use trap::{Trap, TrapCause};

@@ -26,6 +26,7 @@ use crate::trap::{Trap, TrapCause};
 use metal_isa::insn::{CsrOp, CsrSrc, Insn, MulOp};
 use metal_isa::reg::Reg;
 use metal_isa::{csr, decode};
+use metal_trace::{EventKind, StallKind};
 
 /// Maximum chained decode-slot replacements in one cycle before the
 /// pipeline declares a runaway and faults.
@@ -159,6 +160,7 @@ impl<H: Hooks> Core<H> {
         self.id_hold = None;
         self.id_stall = 0;
         self.state.perf.flush_cycles += 2;
+        self.state.trace.emit(EventKind::Flush { target });
     }
 
     /// Takes a trap whose faulting/interrupted PC is `pc`.
@@ -168,6 +170,11 @@ impl<H: Hooks> Core<H> {
         } else {
             self.state.perf.exceptions += 1;
         }
+        self.state.trace.emit(EventKind::Trap {
+            code: cause.code(),
+            tval,
+            pc,
+        });
         let event = TrapEvent { cause, tval, pc };
         match self.hooks.on_trap(&mut self.state, &event) {
             TrapDisposition::Default => {
@@ -188,6 +195,12 @@ impl<H: Hooks> Core<H> {
                 self.flush_for_redirect(target);
                 self.if_busy = 0;
                 self.id_stall = stall;
+                if stall > 0 {
+                    self.state.trace.emit(EventKind::Stall {
+                        kind: StallKind::Decode,
+                        cycles: stall,
+                    });
+                }
                 self.state.perf.metal_entries += 1;
             }
             TrapDisposition::Fatal => {
@@ -249,6 +262,7 @@ impl<H: Hooks> Core<H> {
         }
         self.state.perf.cycles += 1;
         let cycle = self.state.perf.cycles;
+        self.state.trace.set_now(cycle);
         self.state.perf.mip_snapshot = self.state.bus.tick(cycle);
 
         // Snapshot for load-use hazard detection: the instruction that
@@ -269,6 +283,7 @@ impl<H: Hooks> Core<H> {
             self.state.perf.instret += 1;
             let insn = wb.insn;
             let pc = wb.pc;
+            self.state.trace.emit(EventKind::Retire { pc });
             self.hooks.on_retire(&mut self.state, pc, &insn);
         }
 
@@ -294,6 +309,10 @@ impl<H: Hooks> Core<H> {
                     } else {
                         self.mem_hold = Some(latch);
                         self.mem_busy = extra;
+                        self.state.trace.emit(EventKind::Stall {
+                            kind: StallKind::Mem,
+                            cycles: extra,
+                        });
                     }
                 }
                 Err(trap) => {
@@ -339,8 +358,6 @@ impl<H: Hooks> Core<H> {
         if !flushed {
             self.run_if();
         }
-        if self.state.halted.is_some() {
-        }
     }
 
     /// MEM-stage work: data access for loads/stores, pass-through
@@ -380,6 +397,10 @@ impl<H: Hooks> Core<H> {
             } else {
                 core.ex_hold = Some(latch);
                 core.ex_busy = extra;
+                core.state.trace.emit(EventKind::Stall {
+                    kind: StallKind::Ex,
+                    cycles: extra,
+                });
             }
         };
         match d.insn {
@@ -411,7 +432,9 @@ impl<H: Hooks> Core<H> {
                 let addr = self.forward(rs1).wrapping_add(offset as u32);
                 push(self, None, addr, 0, 0);
             }
-            Insn::Store { rs1, rs2, offset, .. } => {
+            Insn::Store {
+                rs1, rs2, offset, ..
+            } => {
                 let addr = self.forward(rs1).wrapping_add(offset as u32);
                 let val = self.forward(rs2);
                 push(self, None, addr, val, 0);
@@ -431,7 +454,10 @@ impl<H: Hooks> Core<H> {
                 return true;
             }
             Insn::Branch {
-                cond, rs1, rs2, offset,
+                cond,
+                rs1,
+                rs2,
+                offset,
             } => {
                 let taken = cond.eval(self.forward(rs1), self.forward(rs2));
                 push(self, None, 0, 0, 0);
@@ -441,7 +467,9 @@ impl<H: Hooks> Core<H> {
                     return true;
                 }
             }
-            Insn::Csr { op, csr: addr, src, .. } => {
+            Insn::Csr {
+                op, csr: addr, src, ..
+            } => {
                 let Some(old) = self.state.csr.read(addr, &self.state.perf) else {
                     self.take_trap(TrapCause::IllegalInstruction, d.word, d.pc);
                     return true;
@@ -554,6 +582,10 @@ impl<H: Hooks> Core<H> {
         if let Some(rd) = ex_load_rd {
             if insn.sources().iter().flatten().any(|&s| s == rd) {
                 self.state.perf.loaduse_stall += 1;
+                self.state.trace.emit(EventKind::Stall {
+                    kind: StallKind::LoadUse,
+                    cycles: 1,
+                });
                 return; // keep if_id; id_ex stays empty (bubble)
             }
         }
@@ -614,6 +646,10 @@ impl<H: Hooks> Core<H> {
                     } else {
                         self.id_hold = Some(latch);
                         self.id_stall = total_stall;
+                        self.state.trace.emit(EventKind::Stall {
+                            kind: StallKind::Decode,
+                            cycles: total_stall,
+                        });
                     }
                     return;
                 }
@@ -628,6 +664,10 @@ impl<H: Hooks> Core<H> {
                     self.if_busy = 0;
                     self.pc = next_fetch;
                     self.state.perf.metal_entries += 1;
+                    self.state.trace.emit(EventKind::DecodeReplace {
+                        pc: cur_pc,
+                        target: pc,
+                    });
                     total_stall += stall;
                     cur_pc = pc;
                     cur_word = word;
@@ -697,6 +737,7 @@ impl<H: Hooks> Core<H> {
             // sitting in ID/EX.)
             let pc = self.pc;
             self.pc = pc.wrapping_add(4);
+            self.state.trace.emit(EventKind::InterruptInjected { line });
             self.if_id = Some(IfId {
                 pc,
                 word: 0,
@@ -722,6 +763,10 @@ impl<H: Hooks> Core<H> {
                 } else {
                     self.if_pending = Some(latch);
                     self.if_busy = latency - 1;
+                    self.state.trace.emit(EventKind::Stall {
+                        kind: StallKind::Fetch,
+                        cycles: latency - 1,
+                    });
                 }
             }
             Err(trap) => {

@@ -9,6 +9,7 @@ use metal_mem::bus::MMIO_BASE;
 use metal_mem::tlb::{AccessKind, TlbFault};
 use metal_mem::walker::{WalkResult, Walker};
 use metal_mem::{Bus, Cache, CacheConfig, MemError, Tlb, TlbConfig};
+use metal_trace::{CacheKind, EventKind, MetricsSnapshot, TraceHandle};
 
 /// The 32 general-purpose registers with `x0` hard-wired to zero.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -236,6 +237,8 @@ pub struct MachineState {
     pub mmio_latency: u32,
     /// Fixed uncached physical access latency.
     pub phys_latency: u32,
+    /// Event sink; disabled by default (see [`MachineState::set_trace`]).
+    pub trace: TraceHandle,
 }
 
 impl MachineState {
@@ -255,7 +258,55 @@ impl MachineState {
             halted: None,
             mmio_latency: config.mmio_latency,
             phys_latency: config.phys_latency,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a trace handle on the machine and on every subsystem
+    /// that emits events directly (TLB lookups, bus MMIO accesses).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.tlb.trace = trace.clone();
+        self.bus.trace = trace.clone();
+        self.trace = trace;
+    }
+
+    /// The unified metrics view: performance counters, stall breakdown,
+    /// and cache/TLB statistics in one snapshot. Extensions append their
+    /// own metrics (e.g. Metal's per-mroutine transition latencies) to
+    /// the returned snapshot.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let p = &self.perf;
+        snap.set_counter("cycles", p.cycles);
+        snap.set_counter("instret", p.instret);
+        if p.instret > 0 {
+            snap.set_gauge("cpi", p.cycles as f64 / p.instret as f64);
+        }
+        snap.set_counter("stall.fetch", p.fetch_stall);
+        snap.set_counter("stall.mem", p.mem_stall);
+        snap.set_counter("stall.loaduse", p.loaduse_stall);
+        snap.set_counter("stall.ex", p.ex_stall);
+        snap.set_counter("flush.cycles", p.flush_cycles);
+        snap.set_counter("trap.exceptions", p.exceptions);
+        snap.set_counter("trap.interrupts", p.interrupts);
+        snap.set_counter("metal.entries", p.metal_entries);
+        snap.set_counter("icache.accesses", self.icache.accesses);
+        snap.set_counter("icache.misses", self.icache.misses);
+        snap.set_gauge("icache.hit_rate", self.icache.hit_rate());
+        snap.set_counter("dcache.accesses", self.dcache.accesses);
+        snap.set_counter("dcache.misses", self.dcache.misses);
+        snap.set_gauge("dcache.hit_rate", self.dcache.hit_rate());
+        snap.set_counter("tlb.lookups", self.tlb.lookups);
+        snap.set_counter("tlb.hits", self.tlb.hits);
+        if self.tlb.lookups > 0 {
+            snap.set_gauge(
+                "tlb.hit_rate",
+                self.tlb.hits as f64 / self.tlb.lookups as f64,
+            );
+        }
+        snap.set_counter("tlb.hw_refills", p.hw_refills);
+        snap
     }
 
     fn fault_for(kind: AccessKind, fault: TlbFault, va: u32) -> Trap {
@@ -292,6 +343,7 @@ impl MachineState {
                             WalkResult::Mapped(pte) => {
                                 self.tlb.install(va, pte, self.asid);
                                 self.perf.hw_refills += 1;
+                                self.trace.emit(EventKind::HwRefill { va });
                                 match self.tlb.translate(va, self.asid, kind) {
                                     Ok(pa) => Ok((pa, walk_cycles)),
                                     Err(fault) => Err(Self::fault_for(kind, fault, va)),
@@ -336,6 +388,11 @@ impl MachineState {
             .read_u32(pa)
             .map_err(|e| Self::mem_trap(AccessKind::Execute, e))?;
         let latency = self.icache.access(pa);
+        self.trace.emit(EventKind::CacheAccess {
+            which: CacheKind::ICache,
+            addr: pa,
+            hit: latency == self.icache.config().hit_latency,
+        });
         Ok((word, latency + walk_cycles))
     }
 
@@ -357,7 +414,13 @@ impl MachineState {
         let latency = if pa >= MMIO_BASE {
             self.mmio_latency
         } else {
-            self.dcache.access(pa)
+            let latency = self.dcache.access(pa);
+            self.trace.emit(EventKind::CacheAccess {
+                which: CacheKind::DCache,
+                addr: pa,
+                hit: latency == self.dcache.config().hit_latency,
+            });
+            latency
         };
         Ok((raw, latency + walk_cycles))
     }
@@ -377,7 +440,13 @@ impl MachineState {
         let latency = if pa >= MMIO_BASE {
             self.mmio_latency
         } else {
-            self.dcache.access(pa)
+            let latency = self.dcache.access(pa);
+            self.trace.emit(EventKind::CacheAccess {
+                which: CacheKind::DCache,
+                addr: pa,
+                hit: latency == self.dcache.config().hit_latency,
+            });
+            latency
         };
         Ok(latency + walk_cycles)
     }
@@ -476,8 +545,7 @@ mod tests {
         assert_eq!(err.cause, TrapCause::LoadPageFault);
         assert_eq!(err.tval, 0x5000);
         // Install a mapping (page-granular) and retry through it.
-        m.tlb
-            .install(0x5000, Pte::new(0x1000, Pte::V | Pte::R), 0);
+        m.tlb.install(0x5000, Pte::new(0x1000, Pte::V | Pte::R), 0);
         m.bus.ram.write_u32(0x1100, 99).unwrap();
         assert_eq!(m.load(0x5100, LoadOp::Lw).unwrap().0, 99);
         // Store to a read-only page faults differently.
@@ -523,10 +591,7 @@ mod tests {
             m.store(0x102, StoreOp::Sw, 0).unwrap_err().cause,
             TrapCause::StoreMisaligned
         );
-        assert_eq!(
-            m.fetch(0x2).unwrap_err().cause,
-            TrapCause::InsnMisaligned
-        );
+        assert_eq!(m.fetch(0x2).unwrap_err().cause, TrapCause::InsnMisaligned);
     }
 
     #[test]

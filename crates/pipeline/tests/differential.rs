@@ -13,130 +13,116 @@ use metal_isa::insn::{AluOp, Cond, Insn, LoadOp, MulOp, StoreOp};
 use metal_isa::reg::Reg;
 use metal_mem::CacheConfig;
 use metal_pipeline::{Core, CoreConfig, Interp, NoHooks};
-use proptest::prelude::*;
+use metal_util::Rng;
 
 const DATA_BASE: u32 = 0x8000;
 const DATA_WORDS: u32 = 64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    // Exclude s0 (data base pointer) from destinations via a separate
-    // strategy; sources may use anything.
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn rand_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 32) as u8).unwrap()
 }
 
-fn arb_dest() -> impl Strategy<Value = Reg> {
-    arb_reg().prop_filter("s0 is the reserved data pointer", |r| *r != Reg::S0)
+/// Destinations exclude s0, the reserved data base pointer.
+fn rand_dest(rng: &mut Rng) -> Reg {
+    loop {
+        let r = rand_reg(rng);
+        if r != Reg::S0 {
+            return r;
+        }
+    }
 }
 
-/// One random instruction. `index`/`len` allow forward-only branches that
-/// stay inside the program.
-fn arb_insn(index: usize, len: usize) -> impl Strategy<Value = Insn> {
+fn rand_alu_op(rng: &mut Rng) -> AluOp {
+    *rng.pick(&[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
+}
+
+fn rand_cond(rng: &mut Rng) -> Cond {
+    *rng.pick(&[Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu])
+}
+
+/// One random instruction. `index`/`len` allow forward-only branches
+/// that stay inside the program.
+fn rand_insn(rng: &mut Rng, index: usize, len: usize) -> Insn {
     // A branch at body slot `index` may skip at most the remaining body
     // instructions, landing no further than the terminating ebreak
     // (skip = 0 targets the next instruction).
     let max_skip = ((len - index - 1).min(6)) as i32;
-    prop_oneof![
-        6 => (arb_alu_op(), arb_dest(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
-        6 => (arb_alu_imm_op(), arb_dest(), arb_reg(), -2048i32..2048).prop_map(
-            |(op, rd, rs1, imm)| {
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),
-                    _ => imm,
-                };
-                Insn::AluImm { op, rd, rs1, imm }
-            }
-        ),
-        2 => (arb_mul_op(), arb_dest(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Insn::MulDiv { op, rd, rs1, rs2 }),
-        2 => (arb_dest(), 0u32..(1 << 20)).prop_map(|(rd, imm20)| Insn::Lui { rd, imm20 }),
-        3 => (arb_load_op(), arb_dest(), 0u32..DATA_WORDS).prop_map(|(op, rd, slot)| {
-            Insn::Load {
+    // Weights mirror the original distribution: 6 ALU, 6 ALU-imm,
+    // 2 mul/div, 2 lui, 3 load, 3 store, 2 branch (total 24).
+    match rng.range_u32(0, 24) {
+        0..=5 => Insn::Alu {
+            op: rand_alu_op(rng),
+            rd: rand_dest(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+        },
+        6..=11 => {
+            let op = loop {
+                let op = rand_alu_op(rng);
+                if op != AluOp::Sub {
+                    break op; // no subi encoding
+                }
+            };
+            let imm = rng.range_i32(-2048, 2048);
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(32),
+                _ => imm,
+            };
+            Insn::AluImm {
                 op,
-                rd,
-                rs1: Reg::S0,
-                offset: (slot * 4) as i32,
+                rd: rand_dest(rng),
+                rs1: rand_reg(rng),
+                imm,
             }
-        }),
-        3 => (arb_store_op(), arb_reg(), 0u32..DATA_WORDS).prop_map(|(op, rs2, slot)| {
-            Insn::Store {
-                op,
-                rs2,
-                rs1: Reg::S0,
-                offset: (slot * 4) as i32,
-            }
-        }),
-        2 => (arb_cond(), arb_reg(), arb_reg(), 0i32..=max_skip).prop_map(
-            move |(cond, rs1, rs2, skip)| Insn::Branch {
-                cond,
-                rs1,
-                rs2,
-                offset: (skip + 1) * 4,
-            }
-        ),
-    ]
-}
-
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
-}
-
-fn arb_alu_imm_op() -> impl Strategy<Value = AluOp> {
-    arb_alu_op().prop_filter("no subi", |op| *op != AluOp::Sub)
-}
-
-fn arb_mul_op() -> impl Strategy<Value = MulOp> {
-    (0u32..8).prop_map(|f| MulOp::from_funct3(f).unwrap())
-}
-
-fn arb_load_op() -> impl Strategy<Value = LoadOp> {
-    prop_oneof![
-        Just(LoadOp::Lb),
-        Just(LoadOp::Lh),
-        Just(LoadOp::Lw),
-        Just(LoadOp::Lbu),
-        Just(LoadOp::Lhu),
-    ]
-}
-
-fn arb_store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)]
-}
-
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ge),
-        Just(Cond::Ltu),
-        Just(Cond::Geu),
-    ]
+        }
+        12..=13 => Insn::MulDiv {
+            op: MulOp::from_funct3(rng.range_u32(0, 8)).unwrap(),
+            rd: rand_dest(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+        },
+        14..=15 => Insn::Lui {
+            rd: rand_dest(rng),
+            imm20: rng.range_u32(0, 1 << 20),
+        },
+        16..=18 => Insn::Load {
+            op: *rng.pick(&[LoadOp::Lb, LoadOp::Lh, LoadOp::Lw, LoadOp::Lbu, LoadOp::Lhu]),
+            rd: rand_dest(rng),
+            rs1: Reg::S0,
+            offset: (rng.range_u32(0, DATA_WORDS) * 4) as i32,
+        },
+        19..=21 => Insn::Store {
+            op: *rng.pick(&[StoreOp::Sb, StoreOp::Sh, StoreOp::Sw]),
+            rs2: rand_reg(rng),
+            rs1: Reg::S0,
+            offset: (rng.range_u32(0, DATA_WORDS) * 4) as i32,
+        },
+        _ => Insn::Branch {
+            cond: rand_cond(rng),
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+            offset: (rng.range_i32(0, max_skip + 1) + 1) * 4,
+        },
+    }
 }
 
 /// A whole program: seeded registers, N body instructions, `ebreak`.
-fn arb_program() -> impl Strategy<Value = (Vec<u32>, Vec<Insn>)> {
-    (
-        proptest::collection::vec(any::<u32>(), 8),
-        (4usize..60).prop_flat_map(|len| {
-            let mut insns = Vec::with_capacity(len);
-            for i in 0..len {
-                insns.push(arb_insn(i, len));
-            }
-            insns
-        }),
-    )
+fn rand_program(rng: &mut Rng) -> (Vec<u32>, Vec<Insn>) {
+    let seeds = (0..8).map(|_| rng.next_u32()).collect();
+    let len = rng.range_usize(4, 60);
+    let body = (0..len).map(|i| rand_insn(rng, i, len)).collect();
+    (seeds, body)
 }
 
 fn build_image(seeds: &[u32], body: &[Insn]) -> Vec<u8> {
@@ -189,11 +175,11 @@ fn config() -> CoreConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn pipeline_matches_reference((seeds, body) in arb_program()) {
+#[test]
+fn pipeline_matches_reference() {
+    let mut rng = Rng::new(0xd1ff_0001);
+    for case in 0..256 {
+        let (seeds, body) = rand_program(&mut rng);
         let image = build_image(&seeds, &body);
 
         let mut core = Core::new(config(), NoHooks);
@@ -204,17 +190,16 @@ proptest! {
         interp.load_segments([(0u32, image.as_slice())], 0);
         let interp_halt = interp.run(250_000);
 
-        prop_assert_eq!(&core_halt, &interp_halt, "halt reasons differ");
-        prop_assert!(core_halt.is_some(), "program must halt");
-        prop_assert_eq!(
+        assert_eq!(&core_halt, &interp_halt, "case {case}: halt reasons differ");
+        assert!(core_halt.is_some(), "case {case}: program must halt");
+        assert_eq!(
             core.state.regs.snapshot(),
             interp.state.regs.snapshot(),
-            "register files diverged"
+            "case {case}: register files diverged"
         );
-        prop_assert_eq!(
-            core.state.perf.instret,
-            interp.state.perf.instret,
-            "retirement counts diverged"
+        assert_eq!(
+            core.state.perf.instret, interp.state.perf.instret,
+            "case {case}: retirement counts diverged"
         );
         let core_data = core
             .state
@@ -230,6 +215,6 @@ proptest! {
             .dump(DATA_BASE, DATA_WORDS * 4)
             .unwrap()
             .to_vec();
-        prop_assert_eq!(core_data, interp_data, "data memory diverged");
+        assert_eq!(core_data, interp_data, "case {case}: data memory diverged");
     }
 }

@@ -39,10 +39,7 @@ fn run_asm(core: &mut Core<NoHooks>, src: &str) -> HaltReason {
 #[test]
 fn arithmetic_and_halt() {
     let mut core = ideal_core();
-    let halt = run_asm(
-        &mut core,
-        "li a0, 6\n li a1, 7\n mul a0, a0, a1\n ebreak",
-    );
+    let halt = run_asm(&mut core, "li a0, 6\n li a1, 7\n mul a0, a0, a1\n ebreak");
     assert_eq!(halt, HaltReason::Ebreak { code: 42 });
 }
 

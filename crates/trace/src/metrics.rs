@@ -1,0 +1,393 @@
+//! The unified metrics registry: counters, gauges, and power-of-two
+//! latency histograms, snapshotted into one JSON document.
+//!
+//! Every subsystem that previously kept private statistics
+//! (`PerfCounters` in the pipeline, hit/miss tallies in the caches and
+//! TLB, Metal's transition stats) flows into a [`MetricsSnapshot`] so
+//! experiments get a single machine-readable file instead of scraping
+//! text reports.
+
+use metal_util::Json;
+use std::collections::BTreeMap;
+
+/// Number of power-of-two buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A histogram with power-of-two buckets: bucket `i` counts values `v`
+/// with `v < 2^i` (and `v >= 2^(i-1)` for `i > 0`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket.min(HIST_BUCKETS - 1)] += 1;
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// JSON form: summary stats plus the non-empty buckets as
+    /// `{le, count}` pairs (`le` is the exclusive power-of-two bound).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("count".to_owned(), Json::Num(self.count as f64));
+        obj.insert("sum".to_owned(), Json::Num(self.sum as f64));
+        obj.insert("min".to_owned(), Json::Num(self.min() as f64));
+        obj.insert("max".to_owned(), Json::Num(self.max as f64));
+        obj.insert("mean".to_owned(), Json::Num(self.mean()));
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let mut b = BTreeMap::new();
+                // Bucket i holds values < 2^i; 2^64 has no u64 form so
+                // the last bound saturates.
+                let le = if i >= 64 { u64::MAX } else { 1u64 << i };
+                b.insert("le".to_owned(), Json::Num(le as f64));
+                b.insert("count".to_owned(), Json::Num(n as f64));
+                Json::Obj(b)
+            })
+            .collect();
+        obj.insert("buckets".to_owned(), Json::Arr(buckets));
+        Json::Obj(obj)
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A point-in-time value (rates, ratios).
+    Gauge(f64),
+    /// A value distribution (boxed: a histogram dwarfs the scalars).
+    Hist(Box<Histogram>),
+}
+
+/// A flat, ordered name→metric map with dotted-path keys
+/// (`"stall.fetch"`, `"dcache.hit_rate"`, `"transition.latency"`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Sets a counter.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.entries.insert(name.to_owned(), Metric::Counter(value));
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.entries.insert(name.to_owned(), Metric::Gauge(value));
+    }
+
+    /// Sets a histogram.
+    pub fn set_hist(&mut self, name: &str, hist: &Histogram) {
+        self.entries
+            .insert(name.to_owned(), Metric::Hist(Box::new(hist.clone())));
+    }
+
+    /// Reads a counter back.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(Metric::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge back.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.entries.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram back.
+    #[must_use]
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name) {
+            Some(Metric::Hist(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The JSON object form (counters/gauges as numbers, histograms as
+    /// nested objects).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        for (name, metric) in &self.entries {
+            let value = match metric {
+                Metric::Counter(v) => Json::Num(*v as f64),
+                Metric::Gauge(v) => Json::Num(*v),
+                Metric::Hist(h) => h.to_json(),
+            };
+            obj.insert(name.clone(), value);
+        }
+        Json::Obj(obj)
+    }
+
+    /// Serialized JSON document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+}
+
+/// Per-mroutine transition accounting: entry/exit counts and a latency
+/// histogram per entry-table slot.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionTable {
+    slots: BTreeMap<u8, TransitionSlot>,
+}
+
+/// Accounting for one entry-table slot.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionSlot {
+    /// Completed enter→exit round trips.
+    pub completions: u64,
+    /// Total entries (may exceed completions while one is in flight).
+    pub entries: u64,
+    /// Enter→exit latency in cycles.
+    pub latency: Histogram,
+}
+
+impl TransitionTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> TransitionTable {
+        TransitionTable::default()
+    }
+
+    /// Records an mroutine entry.
+    pub fn record_entry(&mut self, entry: u8) {
+        self.slots.entry(entry).or_default().entries += 1;
+    }
+
+    /// Records a completed transition with its cycle latency.
+    pub fn record_exit(&mut self, entry: u8, latency_cycles: u64) {
+        let slot = self.slots.entry(entry).or_default();
+        slot.completions += 1;
+        slot.latency.record(latency_cycles);
+    }
+
+    /// The slot for `entry`, if it ever ran.
+    #[must_use]
+    pub fn slot(&self, entry: u8) -> Option<&TransitionSlot> {
+        self.slots.get(&entry)
+    }
+
+    /// Iterates slots in entry order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &TransitionSlot)> {
+        self.slots.iter().map(|(&e, s)| (e, s))
+    }
+
+    /// Latency over every slot combined.
+    #[must_use]
+    pub fn combined_latency(&self) -> Histogram {
+        let mut all = Histogram::new();
+        for slot in self.slots.values() {
+            all.merge(&slot.latency);
+        }
+        all
+    }
+
+    /// Writes the table into `snapshot` under `prefix`
+    /// (e.g. `transition.entry3.latency`).
+    pub fn publish(&self, snapshot: &mut MetricsSnapshot, prefix: &str) {
+        for (entry, slot) in &self.slots {
+            let base = format!("{prefix}.entry{entry}");
+            snapshot.set_counter(&format!("{base}.entries"), slot.entries);
+            snapshot.set_counter(&format!("{base}.completions"), slot.completions);
+            snapshot.set_hist(&format!("{base}.latency"), &slot.latency);
+        }
+        snapshot.set_hist(&format!("{prefix}.latency"), &self.combined_latency());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0: v < 1
+        h.record(1); // bucket 1: v < 2
+        h.record(2); // bucket 2: v < 4
+        h.record(3); // bucket 2
+        h.record(1000); // bucket 10: v < 1024
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_array).unwrap();
+        let les: Vec<f64> = buckets
+            .iter()
+            .map(|b| b.get("le").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(les, vec![1.0, 2.0, 4.0, 1024.0]);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("cycles", 12345);
+        snap.set_gauge("dcache.hit_rate", 0.96875);
+        let mut h = Histogram::new();
+        h.record(7);
+        snap.set_hist("transition.latency", &h);
+
+        let parsed = Json::parse(&snap.to_json_string()).unwrap();
+        assert_eq!(parsed.get("cycles").and_then(Json::as_f64), Some(12345.0));
+        assert_eq!(
+            parsed.get("dcache.hit_rate").and_then(Json::as_f64),
+            Some(0.96875)
+        );
+        assert_eq!(
+            parsed
+                .get("transition.latency")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn transition_table_attributes_per_entry() {
+        let mut t = TransitionTable::new();
+        t.record_entry(3);
+        t.record_exit(3, 40);
+        t.record_entry(3);
+        t.record_exit(3, 44);
+        t.record_entry(7);
+        t.record_exit(7, 900);
+
+        let s3 = t.slot(3).unwrap();
+        assert_eq!(s3.completions, 2);
+        assert_eq!(s3.latency.min(), 40);
+        assert_eq!(s3.latency.max(), 44);
+        assert_eq!(t.combined_latency().count(), 3);
+
+        let mut snap = MetricsSnapshot::new();
+        t.publish(&mut snap, "transition");
+        assert_eq!(snap.counter("transition.entry3.completions"), Some(2));
+        assert_eq!(snap.counter("transition.entry7.entries"), Some(1));
+        assert_eq!(snap.hist("transition.latency").unwrap().count(), 3);
+    }
+}

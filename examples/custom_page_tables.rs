@@ -60,7 +60,10 @@ fn main() {
     match halt {
         Some(HaltReason::Ebreak { code }) => {
             println!("guest stopped with a0 = {code:#x}");
-            assert_eq!(code, 0x20_0000, "the write to the RO page faulted to the OS");
+            assert_eq!(
+                code, 0x20_0000,
+                "the write to the RO page faulted to the OS"
+            );
         }
         other => panic!("unexpected halt {other:?}"),
     }

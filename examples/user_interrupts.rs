@@ -67,7 +67,10 @@ fn main() {
     println!("4 packets handled entirely in userspace (no kernel on the path).");
     println!("delivery latency per packet (arrival -> userspace ack):");
     for (arrival, acked) in handle.take_completions() {
-        println!("  cycle {arrival:>6} -> {acked:>6}  ({} cycles)", acked - arrival);
+        println!(
+            "  cycle {arrival:>6} -> {acked:>6}  ({} cycles)",
+            acked - arrival
+        );
     }
     println!(
         "interrupts delegated by Metal: {}",

@@ -43,7 +43,8 @@ fn both_engines(builder: MetalBuilder, src: &str) -> (u32, Metal, Metal) {
 
 #[test]
 fn menter_mexit_agree() {
-    let builder = MetalBuilder::new().routine(0, "triple", "slli t6, a0, 1\n add a0, a0, t6\n mexit");
+    let builder =
+        MetalBuilder::new().routine(0, "triple", "slli t6, a0, 1\n add a0, a0, t6\n mexit");
     let (code, ch, ih) = both_engines(builder, "li a0, 7\n menter 0\n ebreak");
     assert_eq!(code, 21);
     assert_eq!(ch.stats, ih.stats);
@@ -56,8 +57,10 @@ fn mram_data_state_agrees() {
         "count",
         "mld t0, 0(zero)\n addi t0, t0, 1\n mst t0, 0(zero)\n mv a0, t0\n mexit",
     );
-    let (code, ch, ih) =
-        both_engines(builder, "menter 0\n menter 0\n menter 0\n menter 0\n ebreak");
+    let (code, ch, ih) = both_engines(
+        builder,
+        "menter 0\n menter 0\n menter 0\n menter 0\n ebreak",
+    );
     assert_eq!(code, 4);
     assert_eq!(ch.mram.data()[0..4], ih.mram.data()[0..4]);
 }
@@ -114,9 +117,10 @@ fn delegation_agrees() {
 
 #[test]
 fn palcode_dispatch_agrees() {
-    let builder = MetalBuilder::new()
-        .palcode(0x20_0000)
-        .routine(0, "inc", "addi a0, a0, 1\n mexit");
+    let builder =
+        MetalBuilder::new()
+            .palcode(0x20_0000)
+            .routine(0, "inc", "addi a0, a0, 1\n mexit");
     let (code, _, _) = both_engines(builder, "li a0, 1\n menter 0\n menter 0\n ebreak");
     assert_eq!(code, 3);
 }

@@ -53,7 +53,10 @@ fn all_extension_kits_coexist_in_one_mram() {
         .build_core(CoreConfig::default())
         .expect("all kits fit together");
     let installed = core.hooks.mram.routines().count();
-    assert!(installed >= 35, "expected a full MRAM, got {installed} routines");
+    assert!(
+        installed >= 35,
+        "expected a full MRAM, got {installed} routines"
+    );
     assert!(
         core.hooks.mram.code_free() > 0,
         "the default MRAM should still have headroom"

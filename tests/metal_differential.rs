@@ -7,59 +7,62 @@ use metal_core::{Metal, MetalBuilder};
 use metal_isa::reg::Reg;
 use metal_pipeline::state::CoreConfig;
 use metal_pipeline::{Core, HaltReason, Interp};
-use proptest::prelude::*;
+use metal_util::Rng;
 
 /// A tiny verified mroutine: a few arithmetic ops over a0/a1 and the
 /// Metal registers, ending in mexit.
-fn arb_routine() -> impl Strategy<Value = String> {
-    let step = prop_oneof![
-        (0u8..8).prop_map(|m| format!("wmr m{m}, a0")),
-        (0u8..8).prop_map(|m| format!("rmr t0, m{m}\n add a0, a0, t0")),
-        (-64i32..64).prop_map(|imm| format!("addi a0, a0, {imm}")),
-        Just("slli a0, a0, 1".to_owned()),
-        Just("xor a0, a0, a1".to_owned()),
-        (0u32..16).prop_map(|slot| format!("mst a0, {}(zero)", slot * 4)),
-        (0u32..16).prop_map(|slot| format!("mld t0, {}(zero)\n add a0, a0, t0", slot * 4)),
-    ];
-    proptest::collection::vec(step, 1..8).prop_map(|steps| {
-        let mut src = steps.join("\n");
-        src.push_str("\nmexit");
-        src
-    })
+fn rand_routine(rng: &mut Rng) -> String {
+    let steps = rng.range_usize(1, 8);
+    let mut src = String::new();
+    for _ in 0..steps {
+        let step = match rng.range_u32(0, 7) {
+            0 => format!("wmr m{}, a0", rng.range_u32(0, 8)),
+            1 => format!("rmr t0, m{}\n add a0, a0, t0", rng.range_u32(0, 8)),
+            2 => format!("addi a0, a0, {}", rng.range_i32(-64, 64)),
+            3 => "slli a0, a0, 1".to_owned(),
+            4 => "xor a0, a0, a1".to_owned(),
+            5 => format!("mst a0, {}(zero)", rng.range_u32(0, 16) * 4),
+            _ => format!(
+                "mld t0, {}(zero)\n add a0, a0, t0",
+                rng.range_u32(0, 16) * 4
+            ),
+        };
+        src.push_str(&step);
+        src.push('\n');
+    }
+    src.push_str("mexit");
+    src
 }
 
 /// A guest program: seeded registers, interleaved arithmetic and
 /// menter calls to the two routines, ebreak.
-fn arb_guest() -> impl Strategy<Value = String> {
-    let step = prop_oneof![
-        3 => (-512i32..512).prop_map(|imm| format!("addi a0, a0, {imm}")),
-        2 => Just("menter 0".to_owned()),
-        2 => Just("menter 1".to_owned()),
-        1 => Just("add a1, a1, a0".to_owned()),
-        1 => Just("mul a0, a0, a1".to_owned()),
-    ];
-    (
-        -1000i32..1000,
-        -1000i32..1000,
-        proptest::collection::vec(step, 1..20),
-    )
-        .prop_map(|(a0, a1, steps)| {
-            format!(
-                "li a0, {a0}\nli a1, {a1}\n{}\nebreak",
-                steps.join("\n")
-            )
-        })
+fn rand_guest(rng: &mut Rng) -> String {
+    let a0 = rng.range_i32(-1000, 1000);
+    let a1 = rng.range_i32(-1000, 1000);
+    let steps = rng.range_usize(1, 20);
+    let mut body = String::new();
+    for _ in 0..steps {
+        // Weights: 3 addi, 2 menter 0, 2 menter 1, 1 add, 1 mul.
+        let step = match rng.range_u32(0, 9) {
+            0..=2 => format!("addi a0, a0, {}", rng.range_i32(-512, 512)),
+            3..=4 => "menter 0".to_owned(),
+            5..=6 => "menter 1".to_owned(),
+            7 => "add a1, a1, a0".to_owned(),
+            _ => "mul a0, a0, a1".to_owned(),
+        };
+        body.push_str(&step);
+        body.push('\n');
+    }
+    format!("li a0, {a0}\nli a1, {a1}\n{body}ebreak")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn engines_agree_on_metal_programs(
-        r0 in arb_routine(),
-        r1 in arb_routine(),
-        guest in arb_guest(),
-    ) {
+#[test]
+fn engines_agree_on_metal_programs() {
+    let mut rng = Rng::new(0x3e7a_0001);
+    for case in 0..96 {
+        let r0 = rand_routine(&mut rng);
+        let r1 = rand_routine(&mut rng);
+        let guest = rand_guest(&mut rng);
         let (metal, _, _) = MetalBuilder::new()
             .routine(0, "r0", &r0)
             .routine(1, "r1", &r1)
@@ -76,24 +79,23 @@ proptest! {
         interp.load_segments([(0u32, bytes.as_slice())], 0);
         let interp_halt = interp.run(2_000_000);
 
-        prop_assert_eq!(&core_halt, &interp_halt, "halt diverged\nguest:\n{}", &guest);
+        assert_eq!(
+            &core_halt, &interp_halt,
+            "case {case}: halt diverged\nguest:\n{guest}"
+        );
         let is_ebreak = matches!(core_halt, Some(HaltReason::Ebreak { .. }));
-        prop_assert!(is_ebreak, "program must halt via ebreak");
-        prop_assert_eq!(
+        assert!(is_ebreak, "case {case}: program must halt via ebreak");
+        assert_eq!(
             core.state.regs.snapshot(),
             interp.state.regs.snapshot(),
-            "registers diverged\nguest:\n{}\nr0:\n{}\nr1:\n{}",
-            &guest, &r0, &r1
+            "case {case}: registers diverged\nguest:\n{guest}\nr0:\n{r0}\nr1:\n{r1}"
         );
-        prop_assert_eq!(
-            core.state.regs.get(Reg::A0),
-            interp.state.regs.get(Reg::A0)
-        );
+        assert_eq!(core.state.regs.get(Reg::A0), interp.state.regs.get(Reg::A0));
         // Metal-side state agrees too: MRAM data and the MReg file.
-        prop_assert_eq!(core.hooks.mram.data(), interp.hooks.mram.data());
+        assert_eq!(core.hooks.mram.data(), interp.hooks.mram.data());
         for m in 0..8 {
-            prop_assert_eq!(core.hooks.mregs.get(m), interp.hooks.mregs.get(m));
+            assert_eq!(core.hooks.mregs.get(m), interp.hooks.mregs.get(m));
         }
-        prop_assert_eq!(core.hooks.stats, interp.hooks.stats);
+        assert_eq!(core.hooks.stats, interp.hooks.stats);
     }
 }
