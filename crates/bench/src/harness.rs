@@ -3,7 +3,7 @@
 use metal_core::Metal;
 use metal_mem::CacheConfig;
 use metal_pipeline::state::CoreConfig;
-use metal_pipeline::{Core, HaltReason, Hooks};
+use metal_pipeline::{Engine, HaltReason};
 
 /// A realistic small-core memory configuration: 4 KiB caches, 15-cycle
 /// miss penalty (the setting all experiments share unless they sweep
@@ -28,24 +28,25 @@ pub fn std_config() -> CoreConfig {
     }
 }
 
-/// Assembles `src`, loads it at 0, runs to halt; panics on non-`ebreak`
-/// halts (experiment programs are library-internal).
-pub fn run_to_halt<H: Hooks>(core: &mut Core<H>, src: &str, max_cycles: u64) -> u32 {
+/// Assembles `src`, loads it at 0, runs to halt on either engine;
+/// panics on non-`ebreak` halts (experiment programs are
+/// library-internal).
+pub fn run_to_halt<E: Engine>(engine: &mut E, src: &str, limit: u64) -> u32 {
     let words = metal_asm::assemble_at(src, 0).unwrap_or_else(|e| panic!("bench program: {e}"));
     let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-    core.load_segments([(0u32, bytes.as_slice())], 0);
-    match core.run(max_cycles) {
+    engine.load_segments([(0u32, bytes.as_slice())], 0);
+    match engine.run(limit) {
         Some(HaltReason::Ebreak { code }) => code,
         other => panic!("bench program did not complete: {other:?}"),
     }
 }
 
-/// Runs `src` on a fresh Metal core built by `build` and returns total
-/// cycles.
-pub fn cycles_of(build: impl Fn() -> Core<Metal>, src: &str) -> u64 {
-    let mut core = build();
-    run_to_halt(&mut core, src, 50_000_000);
-    core.state.perf.cycles
+/// Runs `src` on a fresh Metal engine built by `build` and returns
+/// total cycles.
+pub fn cycles_of<E: Engine<Hooks = Metal>>(build: impl Fn() -> E, src: &str) -> u64 {
+    let mut engine = build();
+    run_to_halt(&mut engine, src, 50_000_000);
+    engine.state().perf.cycles
 }
 
 /// Formats a cycles-per-operation float.

@@ -24,6 +24,15 @@ const MAX_ITERS: u64 = 1 << 22;
 /// Measured batches per reported number.
 const SAMPLES: u32 = 9;
 
+/// True when `METAL_BENCH_FAST` is set (to anything but `0`): bench
+/// bodies run exactly once, uncalibrated and untimed. This is the smoke
+/// mode `scripts/bench_smoke.sh` uses — it proves every bench still
+/// assembles, runs, and halts, without paying measurement time in CI.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var("METAL_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
 /// Doubles until one batch of `f` takes at least [`MIN_BATCH`];
 /// returns the iteration count.
 fn calibrate(f: &mut impl FnMut()) -> u64 {
@@ -54,6 +63,11 @@ fn sample(f: &mut impl FnMut(), iters: u64) -> f64 {
 /// Returns the minimum measured nanoseconds per iteration so callers
 /// can make comparative assertions in the same run.
 pub fn bench_fn(group: &str, name: &str, mut f: impl FnMut()) -> f64 {
+    if fast_mode() {
+        f();
+        println!("{group}/{name}: fast mode, 1 iter (unmeasured)");
+        return 0.0;
+    }
     for _ in 0..3 {
         f(); // warmup
     }
@@ -89,6 +103,16 @@ pub fn bench_pair(
     name_b: &str,
     mut b: impl FnMut(),
 ) -> Pair {
+    if fast_mode() {
+        a();
+        b();
+        println!("{group}/{name_a} vs {name_b}: fast mode, 1 iter each (unmeasured)");
+        return Pair {
+            a: 0.0,
+            b: 0.0,
+            rel_diff: 0.0,
+        };
+    }
     for _ in 0..3 {
         a();
         b(); // warmup

@@ -13,7 +13,7 @@ use crate::MetalError;
 use metal_asm::assemble_at;
 use metal_pipeline::state::CoreConfig;
 use metal_pipeline::trap::TrapCause;
-use metal_pipeline::Core;
+use metal_pipeline::{Core, Engine};
 
 /// The output of [`MetalBuilder::build`]: the extension, the main-memory
 /// image PALcode dispatch needs, and accumulated verifier warnings.
@@ -210,19 +210,36 @@ impl MetalBuilder {
         Ok((metal, palcode_image, self.warnings))
     }
 
-    /// Builds a complete pipelined core with the Metal extension
-    /// attached (and the PALcode image, if any, loaded into RAM).
-    pub fn build_core(self, core_config: CoreConfig) -> Result<Core<Metal>, MetalError> {
+    /// Builds a complete machine of either engine type with the Metal
+    /// extension attached (and the PALcode image, if any, loaded into
+    /// RAM).
+    pub fn build_engine<E: Engine<Hooks = Metal>>(
+        self,
+        core_config: CoreConfig,
+    ) -> Result<E, MetalError> {
         let (metal, palcode_image, _warnings) = self.build()?;
-        let mut core = Core::new(core_config, metal);
+        let mut engine = E::new(core_config, metal);
+        let had_image = !palcode_image.is_empty();
         for (base, bytes) in palcode_image {
-            core.state
+            engine
+                .state_mut()
                 .bus
                 .ram
                 .load(base, &bytes)
                 .map_err(|_| MetalError::PalcodeImage { base })?;
         }
-        Ok(core)
+        if had_image {
+            // The image went in behind the bus's back; drop any decoded
+            // state so fetches re-read it.
+            engine.state_mut().invalidate_decode_cache();
+        }
+        Ok(engine)
+    }
+
+    /// Builds a complete pipelined core with the Metal extension
+    /// attached (and the PALcode image, if any, loaded into RAM).
+    pub fn build_core(self, core_config: CoreConfig) -> Result<Core<Metal>, MetalError> {
+        self.build_engine(core_config)
     }
 }
 

@@ -30,6 +30,7 @@ use crate::MetalError;
 use metal_isa::insn::Insn;
 use metal_isa::metal::{MarchOp, MENTER_INDIRECT};
 use metal_isa::reg::Reg;
+use metal_isa::{decode_to, DecodedInsn};
 use metal_pipeline::hooks::{CustomExec, DecodeOutcome, Hooks, TrapDisposition, TrapEvent};
 use metal_pipeline::state::MachineState;
 use metal_pipeline::trap::{Trap, TrapCause};
@@ -352,6 +353,30 @@ impl Hooks for Metal {
             self.mram
                 .code_word(pc)
                 .map(|word| (word, self.mram.fetch_latency()))
+                .map_err(|_| Trap::new(TrapCause::InsnAccessFault, pc)),
+        )
+    }
+
+    fn fetch_decoded(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+    ) -> Option<Result<(DecodedInsn, u32), Trap>> {
+        if self.in_palcode(pc) && self.mode() != Mode::Normal {
+            return Some(Self::palcode_fetch(state, pc).map(|(word, lat)| (decode_to(word), lat)));
+        }
+        if !self.mram.contains_pc(pc) {
+            return None;
+        }
+        if self.mode() == Mode::Normal {
+            return Some(Err(Trap::new(TrapCause::InsnAccessFault, pc)));
+        }
+        // MRAM code is pre-decoded at install time; fetches from the
+        // window never pay a per-cycle decode.
+        Some(
+            self.mram
+                .code_decoded(pc)
+                .map(|decoded| (decoded, self.mram.fetch_latency()))
                 .map_err(|_| Trap::new(TrapCause::InsnAccessFault, pc)),
         )
     }

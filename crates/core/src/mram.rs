@@ -13,6 +13,7 @@
 
 use crate::MetalError;
 use metal_isa::metal::MAX_MROUTINES;
+use metal_isa::{decode_to, DecodedInsn};
 
 /// Base address of the MRAM code window. mroutine PCs live here.
 pub const MRAM_BASE: u32 = 0xFFF0_0000;
@@ -52,26 +53,37 @@ pub struct MroutineInfo {
     pub len: u32,
 }
 
-/// The MRAM: code segment, data segment, and the 64-entry table.
+/// The MRAM: code segment, data segment, and the 64-entry table. Code
+/// is kept in two parallel forms: the raw words and their pre-decoded
+/// [`DecodedInsn`]s, filled at install time — the software analogue of
+/// the paper's decode-collocated MRAM, so mroutine fetches never pay a
+/// per-cycle decode.
 #[derive(Clone, Debug)]
 pub struct Mram {
     config: MramConfig,
     code: Vec<u32>,
+    decoded: Vec<DecodedInsn>,
     data: Vec<u8>,
     entries: Vec<Option<MroutineInfo>>,
     next_offset: u32,
+    generation: u64,
 }
 
 impl Mram {
     /// Creates an empty MRAM.
     #[must_use]
     pub fn new(config: MramConfig) -> Mram {
+        let words = (config.code_bytes / 4) as usize;
         Mram {
-            code: vec![0; (config.code_bytes / 4) as usize],
+            code: vec![0; words],
+            // Word 0 has no legal decoding, so the empty pre-decoded
+            // segment is consistent with the empty code segment.
+            decoded: vec![DecodedInsn::illegal(0); words],
             data: vec![0; config.data_bytes as usize],
             entries: vec![None; MAX_MROUTINES],
             next_offset: 0,
             config,
+            generation: 0,
         }
     }
 
@@ -100,6 +112,12 @@ impl Mram {
         let offset = self.next_offset;
         let word_base = (offset / 4) as usize;
         self.code[word_base..word_base + words.len()].copy_from_slice(words);
+        // Pre-decode at load time; bump the generation so any consumer
+        // holding stale decoded state can notice the (re)load.
+        for (i, &word) in words.iter().enumerate() {
+            self.decoded[word_base + i] = decode_to(word);
+        }
+        self.generation += 1;
         self.next_offset += len;
         self.entries[usize::from(entry)] = Some(MroutineInfo {
             entry,
@@ -134,6 +152,23 @@ impl Mram {
             return Err(MetalError::CodeFetch { pc });
         }
         Ok(self.code[((pc - MRAM_BASE) / 4) as usize])
+    }
+
+    /// Reads the pre-decoded instruction at an MRAM PC. Always agrees
+    /// with [`Mram::code_word`]: both views are written together by
+    /// `install`.
+    pub fn code_decoded(&self, pc: u32) -> Result<DecodedInsn, MetalError> {
+        if !self.contains_pc(pc) || !pc.is_multiple_of(4) {
+            return Err(MetalError::CodeFetch { pc });
+        }
+        Ok(self.decoded[((pc - MRAM_BASE) / 4) as usize])
+    }
+
+    /// Bumped on every `install` (MRAM code (re)load): consumers caching
+    /// decoded MRAM state can use this to detect staleness.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Fetch latency for MRAM code.

@@ -3,7 +3,7 @@
 
 use metal_asm::{assemble, Options};
 use metal_core::Metal;
-use metal_pipeline::{Core, HaltReason};
+use metal_pipeline::{Engine, HaltReason};
 use std::collections::BTreeMap;
 
 /// Default layout of a guest system image.
@@ -40,9 +40,9 @@ impl GuestBinary {
         self.symbols.get(name).map(|&v| v as u32)
     }
 
-    /// Loads the binary into a core and points fetch at the entry.
-    pub fn load_into(&self, core: &mut Core<Metal>) {
-        core.load_segments(
+    /// Loads the binary into either engine and points fetch at the entry.
+    pub fn load_into<E: Engine<Hooks = Metal>>(&self, engine: &mut E) {
+        engine.load_segments(
             self.segments.iter().map(|(b, d)| (*b, d.as_slice())),
             self.entry,
         );
@@ -86,10 +86,14 @@ pub fn assemble_guest_at(
 ///
 /// Panics if the source does not assemble (these are library-internal
 /// programs; failure is a bug, not input error).
-pub fn run_guest(core: &mut Core<Metal>, src: &str, max_cycles: u64) -> Option<HaltReason> {
+pub fn run_guest<E: Engine<Hooks = Metal>>(
+    engine: &mut E,
+    src: &str,
+    max_cycles: u64,
+) -> Option<HaltReason> {
     let binary = assemble_guest(src).unwrap_or_else(|e| panic!("guest program: {e}"));
-    binary.load_into(core);
-    core.run(max_cycles)
+    binary.load_into(engine);
+    engine.run(max_cycles)
 }
 
 /// Generates a 32-way register-read dispatch table: computed jumps

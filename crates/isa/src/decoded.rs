@@ -1,0 +1,269 @@
+//! Pre-decoded instruction form: decode work done once per word.
+//!
+//! Both execution engines historically paid a full [`decode`] on every
+//! fetch — once per cycle on the pipelined core's ID stage, once per
+//! step on the reference interpreter. [`DecodedInsn`] is the compact
+//! micro-op the shared decode cache stores instead: the original word,
+//! the decoded [`Insn`], the pre-extracted destination and source
+//! registers, and a [`DispatchTag`] that classifies the instruction for
+//! the hazard logic without re-inspecting the enum.
+//!
+//! [`decode_to`] is *infallible*: a word with no legal decoding yields
+//! [`DispatchTag::Illegal`] (with [`Insn::NOP`] as a harmless payload),
+//! so the illegal-instruction trap is raised where the word would
+//! execute, exactly as with the fallible [`decode`] path — the original
+//! word is preserved for `mtval`.
+
+use crate::decode::decode;
+use crate::insn::Insn;
+use crate::metal::MarchOp;
+use crate::reg::Reg;
+
+/// Coarse classification of a decoded word, chosen so the pipeline's
+/// hazard predicates are tag-derivable:
+///
+/// * the load-use hazard set is exactly [`DispatchTag::Load`];
+/// * "may still fault after EX" (the decode-sensitivity interlock) is
+///   [`DispatchTag::may_fault`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DispatchTag {
+    /// Register-to-register work with no memory access or control
+    /// transfer (ALU, CSR, fences, `rmr`/`wmr`, non-memory `march.*`).
+    Simple,
+    /// A GPR load (`lb`..`lw`, `mld`): the source of the load-use
+    /// hazard; faults at its MEM stage.
+    Load,
+    /// A memory store (`sb`..`sw`, `mst`): faults at its MEM stage.
+    Store,
+    /// Physical memory access (`march.mpld`/`march.mpst`): faults at
+    /// execute, after leaving the decode stage.
+    PhysMem,
+    /// Control flow (jumps, branches, `ecall`/`ebreak`/`mret`/`wfi`,
+    /// `menter`/`mexit`).
+    Control,
+    /// No legal decoding: raises an illegal-instruction exception when
+    /// it reaches the decode stage.
+    Illegal,
+}
+
+impl DispatchTag {
+    /// True for instructions whose destination participates in the
+    /// load-use hazard (value available only after MEM).
+    #[inline]
+    #[must_use]
+    pub const fn is_load(self) -> bool {
+        matches!(self, DispatchTag::Load)
+    }
+
+    /// True if the instruction can still raise a trap after leaving EX —
+    /// the hazard that gates decode-stage side effects (Metal mode
+    /// transitions must not commit while an older instruction can still
+    /// fault, or exceptions become imprecise).
+    #[inline]
+    #[must_use]
+    pub const fn may_fault(self) -> bool {
+        matches!(
+            self,
+            DispatchTag::Load | DispatchTag::Store | DispatchTag::PhysMem
+        )
+    }
+}
+
+/// A pre-decoded instruction: the unit the decode cache stores and the
+/// pipeline latches carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedInsn {
+    /// The original instruction word (kept for `mtval`, the decode hook,
+    /// and re-encoding).
+    pub word: u32,
+    /// The decoded instruction ([`Insn::NOP`] when `tag` is
+    /// [`DispatchTag::Illegal`]).
+    pub insn: Insn,
+    /// Dispatch classification (see [`DispatchTag`]).
+    pub tag: DispatchTag,
+    /// Pre-extracted destination register (`None` for `x0` or no
+    /// destination), equal to `insn.dest()`.
+    pub dest: Option<Reg>,
+    /// Pre-extracted source registers, equal to `insn.sources()`.
+    pub srcs: [Option<Reg>; 2],
+}
+
+impl DecodedInsn {
+    /// Wraps an already-decoded instruction, pre-extracting operands.
+    #[must_use]
+    pub fn from_insn(word: u32, insn: Insn) -> DecodedInsn {
+        DecodedInsn {
+            word,
+            insn,
+            tag: tag_of(&insn),
+            dest: insn.dest(),
+            srcs: insn.sources(),
+        }
+    }
+
+    /// The pre-decoded form of a word with no legal decoding.
+    #[must_use]
+    pub fn illegal(word: u32) -> DecodedInsn {
+        DecodedInsn {
+            word,
+            insn: Insn::NOP,
+            tag: DispatchTag::Illegal,
+            dest: None,
+            srcs: [None, None],
+        }
+    }
+
+    /// True if this word had no legal decoding.
+    #[inline]
+    #[must_use]
+    pub const fn is_illegal(&self) -> bool {
+        matches!(self.tag, DispatchTag::Illegal)
+    }
+}
+
+fn tag_of(insn: &Insn) -> DispatchTag {
+    match insn {
+        Insn::Load { .. } | Insn::Mld { .. } => DispatchTag::Load,
+        Insn::Store { .. } | Insn::Mst { .. } => DispatchTag::Store,
+        Insn::March {
+            op: MarchOp::Mpld | MarchOp::Mpst,
+            ..
+        } => DispatchTag::PhysMem,
+        _ if insn.is_control_flow() => DispatchTag::Control,
+        Insn::Wfi => DispatchTag::Control,
+        _ => DispatchTag::Simple,
+    }
+}
+
+/// Decodes a word into its cacheable pre-decoded form. Never fails:
+/// illegal words get [`DispatchTag::Illegal`] and trap where they would
+/// have executed.
+#[must_use]
+pub fn decode_to(word: u32) -> DecodedInsn {
+    match decode(word) {
+        Ok(insn) => DecodedInsn::from_insn(word, insn),
+        Err(_) => DecodedInsn::illegal(word),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::insn::{AluOp, LoadOp, StoreOp};
+
+    #[test]
+    fn decode_to_matches_decode() {
+        for word in [
+            0x02A0_0513u32, // addi a0, zero, 42
+            0x0000_0073,    // ecall
+            0x3020_0073,    // mret
+            0x0000_0013,    // nop
+        ] {
+            let d = decode_to(word);
+            assert_eq!(d.word, word);
+            assert_eq!(Ok(d.insn), decode(word));
+            assert_eq!(d.dest, d.insn.dest());
+            assert_eq!(d.srcs, d.insn.sources());
+        }
+    }
+
+    #[test]
+    fn illegal_words_are_tagged_not_errors() {
+        for word in [0x0000_0000u32, 0xFFFF_FFFF, 0x0000_700B] {
+            let d = decode_to(word);
+            assert!(d.is_illegal());
+            assert_eq!(d.word, word, "word preserved for mtval");
+            assert_eq!(d.insn, Insn::NOP);
+            assert_eq!(d.dest, None);
+        }
+    }
+
+    #[test]
+    fn load_use_hazard_set_is_tag_derivable() {
+        let load = encode(&Insn::Load {
+            op: LoadOp::Lw,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+        });
+        let mld = encode(&Insn::Mld {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+        });
+        assert!(decode_to(load).tag.is_load());
+        assert!(decode_to(mld).tag.is_load());
+        let alu = encode(&Insn::AluImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 1,
+        });
+        assert!(!decode_to(alu).tag.is_load());
+    }
+
+    #[test]
+    fn may_fault_set_is_tag_derivable() {
+        let cases: [(Insn, bool); 6] = [
+            (
+                Insn::Load {
+                    op: LoadOp::Lw,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                true,
+            ),
+            (
+                Insn::Store {
+                    op: StoreOp::Sw,
+                    rs2: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                true,
+            ),
+            (
+                Insn::Mst {
+                    rs2: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                true,
+            ),
+            (
+                Insn::March {
+                    op: MarchOp::Mpld,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::ZERO,
+                },
+                true,
+            ),
+            (
+                Insn::March {
+                    op: MarchOp::Mtlbiall,
+                    rd: Reg::ZERO,
+                    rs1: Reg::ZERO,
+                    rs2: Reg::ZERO,
+                },
+                false,
+            ),
+            (Insn::Ecall, false),
+        ];
+        for (insn, expect) in cases {
+            let d = decode_to(encode(&insn));
+            assert_eq!(d.tag.may_fault(), expect, "{insn:?}");
+        }
+    }
+
+    #[test]
+    fn control_flow_tagged() {
+        let jal = encode(&Insn::Jal {
+            rd: Reg::RA,
+            offset: 8,
+        });
+        assert_eq!(decode_to(jal).tag, DispatchTag::Control);
+    }
+}

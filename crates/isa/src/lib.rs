@@ -20,6 +20,7 @@
 
 pub mod csr;
 pub mod decode;
+pub mod decoded;
 pub mod disasm;
 pub mod encode;
 pub mod insn;
@@ -27,6 +28,7 @@ pub mod metal;
 pub mod reg;
 
 pub use decode::{decode, DecodeError};
+pub use decoded::{decode_to, DecodedInsn, DispatchTag};
 pub use disasm::disassemble;
 pub use encode::{encode, try_encode, EncodeError};
 pub use insn::Insn;

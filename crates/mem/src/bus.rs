@@ -6,6 +6,10 @@ use metal_trace::{EventKind, TraceHandle};
 /// Base of the MMIO window. Everything below is RAM-or-fault.
 pub const MMIO_BASE: u32 = 0xF000_0000;
 
+/// Granularity of the code-residency bitmap, in bytes. One bit tracks
+/// one line; a store anywhere in a marked line bumps the generation.
+pub const CODE_LINE_BYTES: u32 = 64;
+
 /// A memory-mapped device.
 ///
 /// Devices are word-addressed: the bus only forwards naturally aligned
@@ -39,16 +43,71 @@ pub struct Bus {
     windows: Vec<Window>,
     /// Event sink; disabled by default.
     pub trace: TraceHandle,
+    /// One bit per [`CODE_LINE_BYTES`] RAM line: set when a decode cache
+    /// holds an instruction fetched from that line. Empty overhead when
+    /// no consumer marks lines.
+    code_lines: Vec<u64>,
+    /// Bumped on every store that hits a marked line. Decode caches
+    /// compare against their own snapshot and flush on mismatch, which
+    /// makes cached pre-decoded instructions safe under self-modifying
+    /// code.
+    code_generation: u64,
 }
 
 impl Bus {
     /// Creates a bus with `ram_bytes` of RAM and no devices.
     #[must_use]
     pub fn new(ram_bytes: usize) -> Bus {
+        let lines = ram_bytes.div_ceil(CODE_LINE_BYTES as usize);
         Bus {
             ram: PhysMemory::new(ram_bytes),
             windows: Vec::new(),
             trace: TraceHandle::disabled(),
+            code_lines: vec![0; lines.div_ceil(64)],
+            code_generation: 0,
+        }
+    }
+
+    /// Marks the RAM line holding `addr` as code-resident: a later store
+    /// to that line will bump [`Bus::code_generation`]. Out-of-RAM
+    /// addresses are ignored.
+    #[inline]
+    pub fn mark_code(&mut self, addr: u32) {
+        let line = (addr / CODE_LINE_BYTES) as usize;
+        if let Some(word) = self.code_lines.get_mut(line / 64) {
+            *word |= 1 << (line % 64);
+        }
+    }
+
+    /// Clears every code-residency mark (the decode cache was flushed;
+    /// nothing cached remains to protect).
+    pub fn clear_code_marks(&mut self) {
+        self.code_lines.fill(0);
+    }
+
+    /// Generation counter for cached code: changes whenever a store may
+    /// have modified a code-resident line.
+    #[inline]
+    #[must_use]
+    pub fn code_generation(&self) -> u64 {
+        self.code_generation
+    }
+
+    /// Bumps the generation if the store at `[addr, addr + len)` touches
+    /// a marked line.
+    #[inline]
+    fn note_store(&mut self, addr: u32, len: u32) {
+        let first = (addr / CODE_LINE_BYTES) as usize;
+        let last = ((addr + (len - 1)) / CODE_LINE_BYTES) as usize;
+        for line in first..=last {
+            let marked = self
+                .code_lines
+                .get(line / 64)
+                .is_some_and(|w| w & (1 << (line % 64)) != 0);
+            if marked {
+                self.code_generation += 1;
+                return;
+            }
         }
     }
 
@@ -101,6 +160,7 @@ impl Bus {
     /// Writes a word.
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         if self.ram.contains(addr, 4) {
+            self.note_store(addr, 4);
             return self.ram.write_u32(addr, value);
         }
         match self.window_mut(addr) {
@@ -141,6 +201,7 @@ impl Bus {
     /// Writes a half-word (RAM only).
     pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<(), MemError> {
         if self.ram.contains(addr, 2) {
+            self.note_store(addr, 2);
             return self.ram.write_u16(addr, value);
         }
         if self.window_mut(addr).is_some() {
@@ -152,6 +213,7 @@ impl Bus {
     /// Writes a byte (RAM only).
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
         if self.ram.contains(addr, 1) {
+            self.note_store(addr, 1);
             return self.ram.write_u8(addr, value);
         }
         if self.window_mut(addr).is_some() {
@@ -312,6 +374,30 @@ mod tests {
         b.write_u32(MMIO_BASE, 0xFEED).unwrap();
         assert_eq!(b.tick(1), 1 << 5);
         assert_eq!(b.irq_bitmap(), 1 << 5);
+    }
+
+    #[test]
+    fn code_generation_bumps_only_on_marked_lines() {
+        let mut b = bus();
+        assert_eq!(b.code_generation(), 0);
+        // Unmarked stores never bump, wherever they land.
+        b.write_u32(0x100, 1).unwrap();
+        assert_eq!(b.code_generation(), 0);
+        // Mark the line holding 0x100; a store to any byte of it bumps.
+        b.mark_code(0x100);
+        b.write_u8(0x100 + CODE_LINE_BYTES - 1, 2).unwrap();
+        assert_eq!(b.code_generation(), 1);
+        // Stores to adjacent lines are invisible.
+        b.write_u32(0x100 + CODE_LINE_BYTES, 3).unwrap();
+        assert_eq!(b.code_generation(), 1);
+        // Clearing marks stops the bumping.
+        b.clear_code_marks();
+        b.write_u32(0x100, 4).unwrap();
+        assert_eq!(b.code_generation(), 1);
+        // MMIO writes never touch the counter.
+        b.mark_code(0x100);
+        b.write_u32(MMIO_BASE, 5).unwrap();
+        assert_eq!(b.code_generation(), 1);
     }
 
     #[test]

@@ -1,29 +1,44 @@
-//! `msim` — run a flat binary image on the pipelined core.
+//! `msim` — run a flat binary image on either execution engine.
 //!
 //! ```text
-//! msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N]
-//!      [--perf] [--trace out.json] [--metrics out.json]
+//! msim image.bin [--engine pipeline|interp] [--base 0xADDR] [--entry 0xADDR]
+//!      [--max-cycles N] [--perf] [--trace out.json] [--metrics out.json]
 //! ```
 //!
-//! Runs the baseline (non-Metal) core with a console at 0xF0000000 and
-//! a timer at 0xF0000100. Exits with the guest's `ebreak` code.
+//! Runs the baseline (non-Metal) machine with a console at 0xF0000000
+//! and a timer at 0xF0000100. Exits with the guest's `ebreak` code.
+//!
+//! `--engine` selects the cycle-accurate pipelined core (the default)
+//! or the functional reference interpreter; both go through the same
+//! [`Engine`] trait, so everything below the flag is engine-agnostic.
 //!
 //! `--trace` records the run as a Chrome trace-event file (open it in
 //! `chrome://tracing` or Perfetto); `--metrics` writes the unified
 //! metrics snapshot (cycles, instret, stall breakdown, cache/TLB hit
-//! rates) as JSON. Neither flag perturbs architectural state or cycle
-//! counts.
+//! rates, decode-cache counters) as JSON. Neither flag perturbs
+//! architectural state or cycle counts.
 
 use metal_mem::devices::{map, Console, Timer};
-use metal_pipeline::{Core, CoreConfig, HaltReason, NoHooks, TracingHooks};
+use metal_pipeline::{Core, CoreConfig, Engine, HaltReason, Interp, NoHooks, TracingHooks};
 use metal_trace::{TraceConfig, TraceHandle};
 use metal_util::cli::{parse_num, usage};
 use std::process::ExitCode;
 
-const USAGE: &str = "msim image.bin [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf] [--trace out.json] [--metrics out.json]";
+const USAGE: &str = "msim image.bin [--engine pipeline|interp] [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf] [--trace out.json] [--metrics out.json]";
+
+struct Opts {
+    image: Vec<u8>,
+    base: u32,
+    entry: u32,
+    max_cycles: u64,
+    perf: bool,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+}
 
 fn main() -> ExitCode {
     let mut input: Option<String> = None;
+    let mut engine_name = "pipeline".to_owned();
     let mut base = 0u32;
     let mut entry: Option<u32> = None;
     let mut max_cycles = 100_000_000u64;
@@ -33,6 +48,10 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--engine" => match args.next() {
+                Some(name) => engine_name = name,
+                None => return usage("msim", USAGE, "missing argument to --engine"),
+            },
             "--base" => match args.next().and_then(|v| parse_num(&v)) {
                 Some(v) => base = v as u32,
                 None => return usage("msim", USAGE, "bad --base"),
@@ -71,28 +90,50 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut core = Core::new(CoreConfig::default(), TracingHooks::new(NoHooks));
-    if trace_path.is_some() {
-        core.state
+    let opts = Opts {
+        image,
+        base,
+        entry: entry.unwrap_or(base),
+        max_cycles,
+        perf,
+        trace_path,
+        metrics_path,
+    };
+    match engine_name.as_str() {
+        "pipeline" => run_sim::<Core<TracingHooks<NoHooks>>>(&opts),
+        "interp" => run_sim::<Interp<TracingHooks<NoHooks>>>(&opts),
+        other => usage("msim", USAGE, &format!("unknown engine {other:?}")),
+    }
+}
+
+fn run_sim<E: Engine<Hooks = TracingHooks<NoHooks>>>(opts: &Opts) -> ExitCode {
+    let mut machine = E::new(CoreConfig::default(), TracingHooks::new(NoHooks));
+    if opts.trace_path.is_some() {
+        machine
+            .state_mut()
             .set_trace(TraceHandle::enabled(TraceConfig::default()));
     }
     let (console, out) = Console::new();
-    core.state
+    machine
+        .state_mut()
         .bus
         .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
-    core.state
+    machine
+        .state_mut()
         .bus
         .attach(map::TIMER_BASE, map::WINDOW_LEN, Box::new(Timer::new()));
-    core.load_segments([(base, image.as_slice())], entry.unwrap_or(base));
-    let halt = core.run(max_cycles);
+    machine.load_segments([(opts.base, opts.image.as_slice())], opts.entry);
+    let halt = machine.run(opts.max_cycles);
     let bytes = out.lock().clone();
     if !bytes.is_empty() {
         print!("{}", String::from_utf8_lossy(&bytes));
     }
-    if perf {
-        let p = &core.state.perf;
+    if opts.perf {
+        let state = machine.state();
+        let p = &state.perf;
         eprintln!(
-            "cycles {} instret {} CPI {:.2} | stalls: fetch {} mem {} loaduse {} flush {}",
+            "engine {} | cycles {} instret {} CPI {:.2} | stalls: fetch {} mem {} loaduse {} flush {}",
+            E::name(),
             p.cycles,
             p.instret,
             p.cycles as f64 / p.instret.max(1) as f64,
@@ -108,9 +149,9 @@ fn main() -> ExitCode {
                 hits as f64 / total as f64 * 100.0
             }
         };
-        let icache = &core.state.icache;
-        let dcache = &core.state.dcache;
-        let tlb = &core.state.tlb;
+        let icache = &state.icache;
+        let dcache = &state.dcache;
+        let tlb = &state.tlb;
         eprintln!(
             "icache {}/{} hits ({:.1}%) | dcache {}/{} hits ({:.1}%) | tlb {}/{} hits ({:.1}%), {} hw refills",
             icache.accesses - icache.misses,
@@ -122,18 +163,27 @@ fn main() -> ExitCode {
             tlb.hits,
             tlb.lookups,
             pct(tlb.hits, tlb.lookups),
-            core.state.perf.hw_refills,
+            p.hw_refills,
+        );
+        let dc = &state.decode_cache;
+        eprintln!(
+            "decode cache {} | {}/{} hits ({:.1}%), {} invalidations",
+            if dc.enabled() { "on" } else { "off" },
+            dc.hits(),
+            dc.hits() + dc.misses(),
+            pct(dc.hits(), dc.hits() + dc.misses()),
+            dc.invalidations(),
         );
     }
-    if let Some(path) = &trace_path {
-        if let Err(e) = std::fs::write(path, core.state.trace.export_chrome()) {
+    if let Some(path) = &opts.trace_path {
+        if let Err(e) = std::fs::write(path, machine.state().trace.export_chrome()) {
             eprintln!("msim: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("msim: wrote trace to {path}");
     }
-    if let Some(path) = &metrics_path {
-        let snapshot = core.state.metrics_snapshot();
+    if let Some(path) = &opts.metrics_path {
+        let snapshot = machine.metrics_snapshot();
         if let Err(e) = std::fs::write(path, snapshot.to_json_string()) {
             eprintln!("msim: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -150,7 +200,7 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("msim: cycle limit ({max_cycles}) reached");
+            eprintln!("msim: cycle limit ({}) reached", opts.max_cycles);
             ExitCode::FAILURE
         }
     }

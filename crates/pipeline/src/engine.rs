@@ -1,0 +1,200 @@
+//! The common interface over both execution engines.
+//!
+//! [`Core`] (cycle-accurate 5-stage pipeline) and [`Interp`] (functional
+//! reference) share [`MachineState`] and the [`Hooks`] extension
+//! interface but historically exposed separate inherent APIs, forcing
+//! every harness — tests, benches, the CLI — to duplicate its setup per
+//! engine. [`Engine`] is the shared surface: construct, load a program,
+//! run, inspect state and metrics. Code written against it (e.g.
+//! `msim --engine pipeline|interp`, the root-test harness in
+//! `tests/common/`) is engine-agnostic by construction.
+//!
+//! The trait is statically dispatched (generic `load_segments` makes it
+//! non-object-safe), which is what the differential harnesses want:
+//! both engines fully monomorphized, no dynamic overhead in either.
+
+use crate::func::Interp;
+use crate::hooks::Hooks;
+use crate::pipeline::Core;
+use crate::state::{CoreConfig, HaltReason, MachineState};
+use metal_trace::MetricsSnapshot;
+
+/// A machine that can load and run guest programs: the pipelined core
+/// or the reference interpreter.
+pub trait Engine: Sized {
+    /// The extension-hook type this engine was built with.
+    type Hooks: Hooks;
+
+    /// Builds an engine from a configuration and extension hooks.
+    fn new(config: CoreConfig, hooks: Self::Hooks) -> Self;
+
+    /// Short engine name for CLI flags and diagnostics (`"pipeline"`,
+    /// `"interp"`).
+    fn name() -> &'static str;
+
+    /// Shared machine state (registers, memory system, counters).
+    fn state(&self) -> &MachineState;
+
+    /// Mutable machine state (device attachment, trace installation).
+    fn state_mut(&mut self) -> &mut MachineState;
+
+    /// The extension hooks.
+    fn hooks(&self) -> &Self::Hooks;
+
+    /// Mutable extension hooks.
+    fn hooks_mut(&mut self) -> &mut Self::Hooks;
+
+    /// The next fetch address.
+    fn pc(&self) -> u32;
+
+    /// Redirects execution to `pc`, clearing any in-flight work.
+    fn set_pc(&mut self, pc: u32);
+
+    /// Loads program segments into RAM and points execution at `entry`.
+    /// Clears any previous halt and invalidates the decode cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment does not fit in RAM.
+    fn load_segments<'a>(
+        &mut self,
+        segments: impl IntoIterator<Item = (u32, &'a [u8])>,
+        entry: u32,
+    );
+
+    /// Runs until the machine halts or `limit` units elapse (cycles for
+    /// the pipelined core, steps for the interpreter). Returns the halt
+    /// reason if the machine stopped.
+    fn run(&mut self, limit: u64) -> Option<HaltReason>;
+
+    /// The unified metrics view of the machine state.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.state().metrics_snapshot()
+    }
+}
+
+impl<H: Hooks> Engine for Core<H> {
+    type Hooks = H;
+
+    fn new(config: CoreConfig, hooks: H) -> Core<H> {
+        Core::new(config, hooks)
+    }
+
+    fn name() -> &'static str {
+        "pipeline"
+    }
+
+    fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut MachineState {
+        &mut self.state
+    }
+
+    fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
+    }
+
+    fn pc(&self) -> u32 {
+        self.fetch_pc()
+    }
+
+    fn set_pc(&mut self, pc: u32) {
+        Core::set_pc(self, pc);
+    }
+
+    fn load_segments<'a>(
+        &mut self,
+        segments: impl IntoIterator<Item = (u32, &'a [u8])>,
+        entry: u32,
+    ) {
+        Core::load_segments(self, segments, entry);
+    }
+
+    fn run(&mut self, limit: u64) -> Option<HaltReason> {
+        Core::run(self, limit)
+    }
+}
+
+impl<H: Hooks> Engine for Interp<H> {
+    type Hooks = H;
+
+    fn new(config: CoreConfig, hooks: H) -> Interp<H> {
+        Interp::new(config, hooks)
+    }
+
+    fn name() -> &'static str {
+        "interp"
+    }
+
+    fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut MachineState {
+        &mut self.state
+    }
+
+    fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
+    }
+
+    fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    fn load_segments<'a>(
+        &mut self,
+        segments: impl IntoIterator<Item = (u32, &'a [u8])>,
+        entry: u32,
+    ) {
+        Interp::load_segments(self, segments, entry);
+    }
+
+    fn run(&mut self, limit: u64) -> Option<HaltReason> {
+        Interp::run(self, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+
+    /// The same generic driver runs either engine — the deduplication
+    /// the trait exists for.
+    fn run_countdown<E: Engine<Hooks = NoHooks>>() -> (u32, Option<HaltReason>) {
+        // li a0, 5; loop: addi a0, a0, -1; bnez a0, loop; ebreak
+        let words: [u32; 4] = [0x0050_0513, 0xFFF5_0513, 0xFE05_1EE3, 0x0010_0073];
+        let image: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let mut engine = E::new(CoreConfig::default(), NoHooks);
+        engine.load_segments([(0u32, image.as_slice())], 0);
+        let halt = engine.run(10_000);
+        (engine.state().regs.get(metal_isa::Reg::A0), halt)
+    }
+
+    #[test]
+    fn both_engines_run_generically() {
+        let (core_a0, core_halt) = run_countdown::<Core<NoHooks>>();
+        let (interp_a0, interp_halt) = run_countdown::<Interp<NoHooks>>();
+        assert_eq!(core_halt, Some(HaltReason::Ebreak { code: 0 }));
+        assert_eq!(core_halt, interp_halt);
+        assert_eq!(core_a0, 0);
+        assert_eq!(core_a0, interp_a0);
+        assert_eq!(Core::<NoHooks>::name(), "pipeline");
+        assert_eq!(Interp::<NoHooks>::name(), "interp");
+    }
+}

@@ -10,7 +10,7 @@ use crate::state::{CoreConfig, HaltReason, MachineState};
 use crate::trap::TrapCause;
 use metal_isa::insn::{CsrOp, CsrSrc, Insn};
 use metal_isa::reg::Reg;
-use metal_isa::{csr, decode};
+use metal_isa::{csr, decode_to};
 
 /// The reference interpreter.
 pub struct Interp<H: Hooks = NoHooks> {
@@ -43,14 +43,7 @@ impl<H: Hooks> Interp<H> {
         segments: impl IntoIterator<Item = (u32, &'a [u8])>,
         entry: u32,
     ) {
-        for (base, data) in segments {
-            self.state
-                .bus
-                .ram
-                .load(base, data)
-                .unwrap_or_else(|e| panic!("program does not fit in RAM: {e}"));
-        }
-        self.state.halted = None;
+        self.state.load_image(segments);
         self.pc = entry;
     }
 
@@ -113,39 +106,37 @@ impl<H: Hooks> Interp<H> {
         }
 
         let pc = self.pc;
-        let word = match self.hooks.fetch(&mut self.state, pc) {
-            Some(Ok((word, _))) => word,
+        // Fetch pre-decoded: the decode cache (or the extension's MRAM)
+        // has already paid the word→Insn cost at most once per word.
+        let decoded = match self.hooks.fetch_decoded(&mut self.state, pc) {
+            Some(Ok((d, _))) => d,
             Some(Err(trap)) => {
                 self.handle_trap(trap.cause, trap.tval, pc);
                 return;
             }
-            None => match self.state.fetch(pc) {
-                Ok((word, _)) => word,
+            None => match self.state.fetch_decoded(pc) {
+                Ok((d, _)) => d,
                 Err(trap) => {
                     self.handle_trap(trap.cause, trap.tval, pc);
                     return;
                 }
             },
         };
-        let insn = match decode(word) {
-            Ok(insn) => insn,
-            Err(_) => {
-                self.handle_trap(TrapCause::IllegalInstruction, word, pc);
-                return;
-            }
-        };
+        if decoded.is_illegal() {
+            self.handle_trap(TrapCause::IllegalInstruction, decoded.word, pc);
+            return;
+        }
         // Chain decode-hook replacements exactly like the pipeline does
         // (an mexit's return stream may begin with another menter).
         let mut cur_pc = pc;
-        let mut cur_word = word;
-        let mut cur_insn = insn;
+        let mut cur = decoded;
         for _ in 0..16 {
             match self
                 .hooks
-                .decode(&mut self.state, cur_pc, cur_word, &cur_insn)
+                .decode(&mut self.state, cur_pc, cur.word, &cur.insn)
             {
                 DecodeOutcome::Pass => {
-                    self.exec(cur_pc, cur_word, cur_insn);
+                    self.exec(cur_pc, cur.word, cur.insn);
                     return;
                 }
                 DecodeOutcome::Replace {
@@ -154,17 +145,13 @@ impl<H: Hooks> Interp<H> {
                     ..
                 } => {
                     self.state.perf.metal_entries += 1;
-                    match decode(word2) {
-                        Ok(insn2) => {
-                            cur_pc = pc2;
-                            cur_word = word2;
-                            cur_insn = insn2;
-                        }
-                        Err(_) => {
-                            self.handle_trap(TrapCause::IllegalInstruction, word2, pc2);
-                            return;
-                        }
+                    let d2 = decode_to(word2);
+                    if d2.is_illegal() {
+                        self.handle_trap(TrapCause::IllegalInstruction, word2, pc2);
+                        return;
                     }
+                    cur_pc = pc2;
+                    cur = d2;
                 }
                 DecodeOutcome::Fault {
                     trap,
@@ -175,7 +162,7 @@ impl<H: Hooks> Interp<H> {
                 }
             }
         }
-        self.handle_trap(TrapCause::IllegalInstruction, cur_word, cur_pc);
+        self.handle_trap(TrapCause::IllegalInstruction, cur.word, cur_pc);
     }
 
     fn exec(&mut self, pc: u32, word: u32, insn: Insn) {

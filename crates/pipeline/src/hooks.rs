@@ -11,7 +11,7 @@
 
 use crate::state::MachineState;
 use crate::trap::{Trap, TrapCause};
-use metal_isa::Insn;
+use metal_isa::{decode_to, DecodedInsn, Insn};
 
 /// What the decode-stage hook decided about an instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +91,22 @@ pub trait Hooks {
     fn fetch(&mut self, state: &mut MachineState, pc: u32) -> Option<Result<(u32, u32), Trap>> {
         let _ = (state, pc);
         None
+    }
+
+    /// Pre-decoded variant of [`Hooks::fetch`] — the entry point both
+    /// engines actually use. The default wraps `fetch` and decodes the
+    /// word; extensions that hold pre-decoded code (MRAM) override this
+    /// to skip the per-fetch decode entirely. Implementations must stay
+    /// consistent with `fetch`: same `Some`/`None`/`Err` decisions, and
+    /// a returned `DecodedInsn` whose `word` is what `fetch` would
+    /// return.
+    fn fetch_decoded(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+    ) -> Option<Result<(DecodedInsn, u32), Trap>> {
+        self.fetch(state, pc)
+            .map(|r| r.map(|(word, latency)| (decode_to(word), latency)))
     }
 
     /// True if [`Hooks::decode`] would do more than `Pass` for this

@@ -7,13 +7,20 @@
 //!   hazards, branch flushes, variable-latency memory, and traps.
 //! * [`func::Interp`] — a functional reference interpreter used for
 //!   differential testing (same [`state::MachineState`], no timing).
+//! * [`engine::Engine`] — the common trait over both engines
+//!   (construct / load / run / inspect), so harnesses are written once.
 //! * [`hooks::Hooks`] — the extension interface Metal attaches to
 //!   (fetch, decode replacement, custom execute, trap delegation).
+//!
+//! Both engines fetch through [`state::DecodeCache`], a shared
+//! physical-address-keyed cache of pre-decoded instructions kept
+//! coherent with self-modifying code by a bus generation counter.
 //!
 //! The baseline (non-Metal) processor is `Core<NoHooks>`: Metal
 //! instructions raise illegal-instruction traps and all traps vector
 //! through `mtvec`, exactly the conventional design Metal replaces.
 
+pub mod engine;
 pub mod func;
 pub mod hooks;
 pub mod pipeline;
@@ -21,11 +28,13 @@ pub mod state;
 pub mod tracing;
 pub mod trap;
 
+pub use engine::Engine;
 pub use func::Interp;
 pub use hooks::{CustomExec, DecodeOutcome, Hooks, NoHooks, TrapDisposition, TrapEvent};
 pub use pipeline::Core;
 pub use state::{
-    CoreConfig, CsrFile, HaltReason, MachineState, PerfCounters, RegFile, TranslationMode,
+    CoreConfig, CsrFile, DecodeCache, HaltReason, MachineState, PerfCounters, RegFile,
+    TranslationMode,
 };
 pub use tracing::TracingHooks;
 pub use trap::{Trap, TrapCause};

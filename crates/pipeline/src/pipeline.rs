@@ -25,18 +25,20 @@ use crate::state::{CoreConfig, HaltReason, MachineState};
 use crate::trap::{Trap, TrapCause};
 use metal_isa::insn::{CsrOp, CsrSrc, Insn, MulOp};
 use metal_isa::reg::Reg;
-use metal_isa::{csr, decode};
+use metal_isa::{csr, decode_to, DecodedInsn};
 use metal_trace::{EventKind, StallKind};
 
 /// Maximum chained decode-slot replacements in one cycle before the
 /// pipeline declares a runaway and faults.
 const MAX_REPLACE_CHAIN: usize = 16;
 
-/// IF → ID latch.
+/// IF → ID latch. Fetch delivers instructions pre-decoded (the decode
+/// cache does the word→[`DecodedInsn`] work at most once per word); ID
+/// keeps only the hazard checks and the extension decode hook.
 #[derive(Clone, Copy, Debug)]
 struct IfId {
     pc: u32,
-    word: u32,
+    decoded: DecodedInsn,
     fault: Option<Trap>,
 }
 
@@ -44,8 +46,7 @@ struct IfId {
 #[derive(Clone, Copy, Debug)]
 struct IdEx {
     pc: u32,
-    word: u32,
-    insn: Insn,
+    decoded: DecodedInsn,
     fault: Option<Trap>,
 }
 
@@ -53,7 +54,7 @@ struct IdEx {
 #[derive(Clone, Copy, Debug)]
 struct ExMem {
     pc: u32,
-    insn: Insn,
+    decoded: DecodedInsn,
     /// Memory address for loads/stores; writeback value otherwise.
     alu: u32,
     /// Store data (resolved in EX).
@@ -268,8 +269,8 @@ impl<H: Hooks> Core<H> {
         // Snapshot for load-use hazard detection: the instruction that
         // executes in EX *this* tick.
         let ex_load_rd = self.id_ex.as_ref().and_then(|d| {
-            if matches!(d.insn, Insn::Load { .. } | Insn::Mld { .. }) {
-                d.insn.dest()
+            if d.decoded.tag.is_load() {
+                d.decoded.dest
             } else {
                 None
             }
@@ -300,8 +301,8 @@ impl<H: Hooks> Core<H> {
                 Ok((value, extra)) => {
                     let latch = MemWb {
                         pc: xm.pc,
-                        insn: xm.insn,
-                        rd: xm.insn.dest(),
+                        insn: xm.decoded.insn,
+                        rd: xm.decoded.dest,
                         value,
                     };
                     if extra == 0 {
@@ -363,7 +364,7 @@ impl<H: Hooks> Core<H> {
     /// MEM-stage work: data access for loads/stores, pass-through
     /// otherwise. Returns (writeback value, extra hold cycles).
     fn run_mem(&mut self, xm: &ExMem) -> Result<(u32, u32), Trap> {
-        match xm.insn {
+        match xm.decoded.insn {
             Insn::Load { op, .. } => {
                 let (value, lat) = self.state.load(xm.alu, op)?;
                 Ok((value, lat.saturating_sub(1)))
@@ -387,7 +388,7 @@ impl<H: Hooks> Core<H> {
         let push = |core: &mut Core<H>, wb: Option<u32>, alu: u32, store_val: u32, extra: u32| {
             let latch = ExMem {
                 pc: d.pc,
-                insn: d.insn,
+                decoded: d.decoded,
                 alu,
                 store_val,
                 wb,
@@ -403,7 +404,7 @@ impl<H: Hooks> Core<H> {
                 });
             }
         };
-        match d.insn {
+        match d.decoded.insn {
             Insn::Lui { imm20, .. } => {
                 push(self, Some(imm20 << 12), 0, 0, 0);
             }
@@ -471,7 +472,7 @@ impl<H: Hooks> Core<H> {
                 op, csr: addr, src, ..
             } => {
                 let Some(old) = self.state.csr.read(addr, &self.state.perf) else {
-                    self.take_trap(TrapCause::IllegalInstruction, d.word, d.pc);
+                    self.take_trap(TrapCause::IllegalInstruction, d.decoded.word, d.pc);
                     return true;
                 };
                 let operand = match src {
@@ -485,7 +486,7 @@ impl<H: Hooks> Core<H> {
                 };
                 if let Some(new) = new {
                     if !self.state.csr.write(addr, new) {
-                        self.take_trap(TrapCause::IllegalInstruction, d.word, d.pc);
+                        self.take_trap(TrapCause::IllegalInstruction, d.decoded.word, d.pc);
                         return true;
                     }
                 }
@@ -533,13 +534,17 @@ impl<H: Hooks> Core<H> {
             // them pass (rmr/wmr/mld/mst/march in Metal mode) or under
             // NoHooks (illegal).
             _ => {
-                let [s1, s2] = d.insn.sources();
+                let [s1, s2] = d.decoded.srcs;
                 let rs1 = s1.map_or(0, |r| self.forward(r));
                 let rs2 = s2.map_or(0, |r| self.forward(r));
-                match self
-                    .hooks
-                    .exec_custom(&mut self.state, d.pc, d.word, &d.insn, rs1, rs2)
-                {
+                match self.hooks.exec_custom(
+                    &mut self.state,
+                    d.pc,
+                    d.decoded.word,
+                    &d.decoded.insn,
+                    rs1,
+                    rs2,
+                ) {
                     Ok(result) => {
                         push(self, result.writeback, 0, 0, result.extra_cycles);
                     }
@@ -553,34 +558,31 @@ impl<H: Hooks> Core<H> {
         false
     }
 
-    /// ID-stage work: decode, hazard check, extension decode hook.
+    /// ID-stage work: hazard checks and the extension decode hook. The
+    /// word was already decoded at fetch (via the decode cache), so the
+    /// stage re-inspects nothing.
     fn run_id(&mut self, f: IfId, ex_load_rd: Option<Reg>) {
         if let Some(trap) = f.fault {
             self.if_id = None;
             self.id_ex = Some(IdEx {
                 pc: f.pc,
-                word: f.word,
-                insn: Insn::NOP,
+                decoded: f.decoded,
                 fault: Some(trap),
             });
             return;
         }
-        let insn = match decode(f.word) {
-            Ok(insn) => insn,
-            Err(_) => {
-                self.if_id = None;
-                self.id_ex = Some(IdEx {
-                    pc: f.pc,
-                    word: f.word,
-                    insn: Insn::NOP,
-                    fault: Some(Trap::illegal(f.word)),
-                });
-                return;
-            }
-        };
+        if f.decoded.is_illegal() {
+            self.if_id = None;
+            self.id_ex = Some(IdEx {
+                pc: f.pc,
+                decoded: f.decoded,
+                fault: Some(Trap::illegal(f.decoded.word)),
+            });
+            return;
+        }
         // Load-use hazard: one bubble.
         if let Some(rd) = ex_load_rd {
-            if insn.sources().iter().flatten().any(|&s| s == rd) {
+            if f.decoded.srcs.iter().flatten().any(|&s| s == rd) {
                 self.state.perf.loaduse_stall += 1;
                 self.state.trace.emit(EventKind::Stall {
                     kind: StallKind::LoadUse,
@@ -593,26 +595,29 @@ impl<H: Hooks> Core<H> {
         // must not commit while an older instruction can still fault, or
         // exceptions would become imprecise. Hold the instruction in ID
         // until the hazard clears.
-        if self.hooks.decode_is_sensitive(&self.state, f.word, &insn) {
+        if self
+            .hooks
+            .decode_is_sensitive(&self.state, f.decoded.word, &f.decoded.insn)
+        {
             let older_may_fault = self
                 .ex_mem
                 .as_ref()
-                .is_some_and(|x| insn_may_fault(&x.insn));
+                .is_some_and(|x| x.decoded.tag.may_fault());
             let reads_gpr_at_decode = matches!(
-                insn,
+                f.decoded.insn,
                 Insn::Menter {
                     entry: metal_isa::metal::MENTER_INDIRECT,
                     ..
                 }
             );
             let gpr_in_flight = reads_gpr_at_decode && {
-                let rs1 = match insn {
+                let rs1 = match f.decoded.insn {
                     Insn::Menter { rs1, .. } => rs1,
                     _ => Reg::ZERO,
                 };
                 let hit = |i: Option<Reg>| i == Some(rs1);
-                hit(self.ex_hold.as_ref().and_then(|l| l.insn.dest()))
-                    || hit(self.ex_mem.as_ref().and_then(|l| l.insn.dest()))
+                hit(self.ex_hold.as_ref().and_then(|l| l.decoded.dest))
+                    || hit(self.ex_mem.as_ref().and_then(|l| l.decoded.dest))
                     || hit(self.mem_hold.as_ref().and_then(|l| l.rd))
                     || hit(self.mem_wb.as_ref().and_then(|l| l.rd))
             };
@@ -625,20 +630,18 @@ impl<H: Hooks> Core<H> {
         // replaced — e.g. an mexit whose return stream begins with
         // another menter. Chain the hook with a runaway bound.
         let mut cur_pc = f.pc;
-        let mut cur_word = f.word;
-        let mut cur_insn = insn;
+        let mut cur = f.decoded;
         let mut total_stall = 0u32;
         for round in 0..MAX_REPLACE_CHAIN {
             match self
                 .hooks
-                .decode(&mut self.state, cur_pc, cur_word, &cur_insn)
+                .decode(&mut self.state, cur_pc, cur.word, &cur.insn)
             {
                 DecodeOutcome::Pass => {
                     self.if_id = None;
                     let latch = IdEx {
                         pc: cur_pc,
-                        word: cur_word,
-                        insn: cur_insn,
+                        decoded: cur,
                         fault: None,
                     };
                     if total_stall == 0 {
@@ -670,27 +673,22 @@ impl<H: Hooks> Core<H> {
                     });
                     total_stall += stall;
                     cur_pc = pc;
-                    cur_word = word;
-                    cur_insn = match decode(word) {
-                        Ok(insn) => insn,
-                        Err(_) => {
-                            self.id_ex = Some(IdEx {
-                                pc,
-                                word,
-                                insn: Insn::NOP,
-                                fault: Some(Trap::illegal(word)),
-                            });
-                            return;
-                        }
-                    };
+                    cur = decode_to(word);
+                    if cur.is_illegal() {
+                        self.id_ex = Some(IdEx {
+                            pc,
+                            decoded: cur,
+                            fault: Some(Trap::illegal(word)),
+                        });
+                        return;
+                    }
                     let _ = round;
                 }
                 DecodeOutcome::Fault { trap, pc } => {
                     self.if_id = None;
                     self.id_ex = Some(IdEx {
                         pc: pc.unwrap_or(cur_pc),
-                        word: cur_word,
-                        insn: cur_insn,
+                        decoded: cur,
                         fault: Some(trap),
                     });
                     return;
@@ -701,9 +699,8 @@ impl<H: Hooks> Core<H> {
         self.if_id = None;
         self.id_ex = Some(IdEx {
             pc: cur_pc,
-            word: cur_word,
-            insn: Insn::NOP,
-            fault: Some(Trap::illegal(cur_word)),
+            decoded: DecodedInsn::illegal(cur.word),
+            fault: Some(Trap::illegal(cur.word)),
         });
     }
 
@@ -740,21 +737,21 @@ impl<H: Hooks> Core<H> {
             self.state.trace.emit(EventKind::InterruptInjected { line });
             self.if_id = Some(IfId {
                 pc,
-                word: 0,
+                decoded: DecodedInsn::illegal(0),
                 fault: Some(Trap::new(TrapCause::Interrupt(line), 0)),
             });
             return;
         }
         let pc = self.pc;
-        let fetched = match self.hooks.fetch(&mut self.state, pc) {
+        let fetched = match self.hooks.fetch_decoded(&mut self.state, pc) {
             Some(result) => result,
-            None => self.state.fetch(pc),
+            None => self.state.fetch_decoded(pc),
         };
         match fetched {
-            Ok((word, latency)) => {
+            Ok((decoded, latency)) => {
                 let latch = IfId {
                     pc,
-                    word,
+                    decoded,
                     fault: None,
                 };
                 self.pc = pc.wrapping_add(4);
@@ -773,7 +770,7 @@ impl<H: Hooks> Core<H> {
                 self.pc = pc.wrapping_add(4);
                 self.if_id = Some(IfId {
                     pc,
-                    word: 0,
+                    decoded: DecodedInsn::illegal(0),
                     fault: Some(trap),
                 });
             }
@@ -824,30 +821,7 @@ impl<H: Hooks> Core<H> {
         segments: impl IntoIterator<Item = (u32, &'a [u8])>,
         entry: u32,
     ) {
-        for (base, data) in segments {
-            self.state
-                .bus
-                .ram
-                .load(base, data)
-                .unwrap_or_else(|e| panic!("program does not fit in RAM: {e}"));
-        }
-        self.state.halted = None;
+        self.state.load_image(segments);
         self.set_pc(entry);
     }
-}
-
-/// True if this instruction can still raise a trap after leaving EX
-/// (i.e. at its MEM stage) — the hazard that gates decode-stage side
-/// effects.
-fn insn_may_fault(insn: &Insn) -> bool {
-    matches!(
-        insn,
-        Insn::Load { .. } | Insn::Store { .. } | Insn::Mld { .. } | Insn::Mst { .. }
-    ) || matches!(
-        insn,
-        Insn::March {
-            op: metal_isa::metal::MarchOp::Mpld | metal_isa::metal::MarchOp::Mpst,
-            ..
-        }
-    )
 }

@@ -3,6 +3,7 @@
 
 use crate::trap::{Trap, TrapCause};
 use metal_isa::csr;
+use metal_isa::decoded::{decode_to, DecodedInsn};
 use metal_isa::insn::{LoadOp, StoreOp};
 use metal_isa::reg::Reg;
 use metal_mem::bus::MMIO_BASE;
@@ -190,6 +191,9 @@ pub struct CoreConfig {
     pub reset_pc: u32,
     /// RAM size in bytes.
     pub ram_bytes: usize,
+    /// Enables the shared pre-decoded instruction cache (host-side
+    /// speedup only; simulated timing is identical either way).
+    pub decode_cache: bool,
 }
 
 impl Default for CoreConfig {
@@ -205,7 +209,120 @@ impl Default for CoreConfig {
             translation: TranslationMode::Bare,
             reset_pc: 0,
             ram_bytes: 4 << 20,
+            decode_cache: true,
         }
+    }
+}
+
+/// Direct-mapped slots in the decode cache (a 16 KiB code window at one
+/// slot per 4-byte word).
+const DECODE_CACHE_SLOTS: usize = 4096;
+
+/// Sentinel physical address marking an empty slot (real fetch
+/// addresses are always 4-aligned).
+const DECODE_SLOT_EMPTY: u32 = 1;
+
+#[derive(Clone, Copy, Debug)]
+struct DecodeSlot {
+    pa: u32,
+    data: DecodedInsn,
+}
+
+/// A direct-mapped cache of pre-decoded instructions keyed by physical
+/// address, shared by both execution engines via
+/// [`MachineState::fetch_decoded`].
+///
+/// Coherence uses a generation protocol: every insert marks the
+/// containing RAM line code-resident on the bus, the bus bumps its
+/// generation on any store to a marked line, and the next fetch flushes
+/// the whole cache on a generation mismatch — so self-modifying code
+/// always re-decodes. Host-side RAM writes that bypass the bus (program
+/// loads) must call [`MachineState::invalidate_decode_cache`].
+///
+/// The cache is a *host-side* optimization only: a hit skips the RAM
+/// read and the decode, but the icache/TLB timing models and their
+/// trace events run identically on hits and misses, so enabling it
+/// perturbs no simulated observable.
+#[derive(Debug)]
+pub struct DecodeCache {
+    slots: Vec<DecodeSlot>,
+    enabled: bool,
+    /// Snapshot of the bus generation the cached contents are valid for.
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl DecodeCache {
+    fn new(enabled: bool) -> DecodeCache {
+        DecodeCache {
+            slots: vec![
+                DecodeSlot {
+                    pa: DECODE_SLOT_EMPTY,
+                    data: DecodedInsn::illegal(0),
+                };
+                DECODE_CACHE_SLOTS
+            ],
+            enabled,
+            generation: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Whether fetches consult the cache at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Fetches served from a cached pre-decoded entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fetches that had to read and decode the word.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whole-cache flushes (generation mismatches and program loads).
+    #[must_use]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    #[inline]
+    fn index(pa: u32) -> usize {
+        ((pa >> 2) as usize) & (DECODE_CACHE_SLOTS - 1)
+    }
+
+    #[inline]
+    fn lookup(&mut self, pa: u32) -> Option<DecodedInsn> {
+        let slot = &self.slots[Self::index(pa)];
+        if slot.pa == pa {
+            self.hits += 1;
+            Some(slot.data)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, pa: u32, data: DecodedInsn) {
+        self.slots[Self::index(pa)] = DecodeSlot { pa, data };
+    }
+
+    fn flush(&mut self) {
+        for slot in &mut self.slots {
+            slot.pa = DECODE_SLOT_EMPTY;
+        }
+        self.invalidations += 1;
     }
 }
 
@@ -239,6 +356,8 @@ pub struct MachineState {
     pub phys_latency: u32,
     /// Event sink; disabled by default (see [`MachineState::set_trace`]).
     pub trace: TraceHandle,
+    /// Shared pre-decoded instruction cache (see [`DecodeCache`]).
+    pub decode_cache: DecodeCache,
 }
 
 impl MachineState {
@@ -259,6 +378,7 @@ impl MachineState {
             mmio_latency: config.mmio_latency,
             phys_latency: config.phys_latency,
             trace: TraceHandle::disabled(),
+            decode_cache: DecodeCache::new(config.decode_cache),
         }
     }
 
@@ -306,6 +426,9 @@ impl MachineState {
             );
         }
         snap.set_counter("tlb.hw_refills", p.hw_refills);
+        snap.set_counter("decode_cache.hit", self.decode_cache.hits);
+        snap.set_counter("decode_cache.miss", self.decode_cache.misses);
+        snap.set_counter("decode_cache.invalidate", self.decode_cache.invalidations);
         snap
     }
 
@@ -376,6 +499,28 @@ impl MachineState {
     /// Fetches an instruction word. Returns the word and the fetch
     /// latency in cycles (icache hit = 1).
     pub fn fetch(&mut self, pc: u32) -> Result<(u32, u32), Trap> {
+        self.fetch_decoded(pc).map(|(d, latency)| (d.word, latency))
+    }
+
+    /// Charges the icache model for the fetch of `pa` and emits the
+    /// access event — identical on decode-cache hits and misses.
+    #[inline]
+    fn icache_access(&mut self, pa: u32) -> u32 {
+        let latency = self.icache.access(pa);
+        self.trace.emit(EventKind::CacheAccess {
+            which: CacheKind::ICache,
+            addr: pa,
+            hit: latency == self.icache.config().hit_latency,
+        });
+        latency
+    }
+
+    /// Fetches a pre-decoded instruction, consulting the decode cache.
+    /// Returns the decoded form and the fetch latency in cycles (icache
+    /// hit = 1). Words with no legal decoding are returned with
+    /// [`metal_isa::DispatchTag::Illegal`], not as errors — the trap is
+    /// raised where the word would execute.
+    pub fn fetch_decoded(&mut self, pc: u32) -> Result<(DecodedInsn, u32), Trap> {
         if !pc.is_multiple_of(4) {
             return Err(Trap::new(TrapCause::InsnMisaligned, pc));
         }
@@ -383,17 +528,58 @@ impl MachineState {
         if pa >= MMIO_BASE {
             return Err(Trap::new(TrapCause::InsnAccessFault, pc));
         }
+        if self.decode_cache.enabled {
+            if self.decode_cache.generation != self.bus.code_generation() {
+                // A store hit a code-resident line since we last looked:
+                // drop every cached entry and start a fresh epoch.
+                self.decode_cache.flush();
+                self.bus.clear_code_marks();
+                self.decode_cache.generation = self.bus.code_generation();
+            }
+            if let Some(d) = self.decode_cache.lookup(pa) {
+                let latency = self.icache_access(pa);
+                return Ok((d, latency + walk_cycles));
+            }
+        }
         let word = self
             .bus
             .read_u32(pa)
             .map_err(|e| Self::mem_trap(AccessKind::Execute, e))?;
-        let latency = self.icache.access(pa);
-        self.trace.emit(EventKind::CacheAccess {
-            which: CacheKind::ICache,
-            addr: pa,
-            hit: latency == self.icache.config().hit_latency,
-        });
-        Ok((word, latency + walk_cycles))
+        let latency = self.icache_access(pa);
+        let d = decode_to(word);
+        if self.decode_cache.enabled {
+            self.decode_cache.insert(pa, d);
+            self.bus.mark_code(pa);
+        }
+        Ok((d, latency + walk_cycles))
+    }
+
+    /// Flushes the decode cache and its bus-side code marks. Must be
+    /// called after host-side RAM writes that bypass the bus (program
+    /// loads), which the generation protocol cannot observe.
+    pub fn invalidate_decode_cache(&mut self) {
+        if self.decode_cache.enabled {
+            self.decode_cache.flush();
+            self.bus.clear_code_marks();
+            self.decode_cache.generation = self.bus.code_generation();
+        }
+    }
+
+    /// Loads raw segments into RAM, clears any halt, and invalidates the
+    /// decode cache. The shared tail of both engines' `load_segments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment does not fit in RAM.
+    pub fn load_image<'a>(&mut self, segments: impl IntoIterator<Item = (u32, &'a [u8])>) {
+        for (base, data) in segments {
+            self.bus
+                .ram
+                .load(base, data)
+                .unwrap_or_else(|e| panic!("segment at {base:#x} does not fit in RAM: {e}"));
+        }
+        self.halted = None;
+        self.invalidate_decode_cache();
     }
 
     /// Performs a data load. Returns the (sign/zero-extended) value and
@@ -601,6 +787,47 @@ mod tests {
             m.fetch(MMIO_BASE).unwrap_err().cause,
             TrapCause::InsnAccessFault
         );
+    }
+
+    #[test]
+    fn decode_cache_hits_and_invalidates_on_bus_stores() {
+        let mut m = machine();
+        m.bus.ram.write_u32(0x100, 0x0000_0013).unwrap(); // nop
+        m.invalidate_decode_cache();
+        let inv_base = m.decode_cache.invalidations();
+        let (d1, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(m.decode_cache.misses(), 1);
+        let (d2, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(m.decode_cache.hits(), 1);
+        assert_eq!(d1, d2);
+        // A store through the bus to the fetched line flushes the cache;
+        // the next fetch sees the new word.
+        m.store(0x100, StoreOp::Sw, 0x02A0_0513).unwrap(); // addi a0, x0, 42
+        let (d3, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(m.decode_cache.invalidations(), inv_base + 1);
+        assert_eq!(d3.word, 0x02A0_0513);
+        // A store elsewhere does not flush.
+        m.store(0x2000, StoreOp::Sw, 7).unwrap();
+        let (_, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(m.decode_cache.invalidations(), inv_base + 1);
+    }
+
+    #[test]
+    fn decode_cache_is_timing_invisible() {
+        let observe = |enabled: bool| {
+            let mut m = MachineState::new(&CoreConfig {
+                ram_bytes: 1 << 20,
+                decode_cache: enabled,
+                ..CoreConfig::default()
+            });
+            m.bus.ram.write_u32(0x40, 0x0000_0013).unwrap();
+            let mut latencies = Vec::new();
+            for _ in 0..5 {
+                latencies.push(m.fetch_decoded(0x40).unwrap().1);
+            }
+            (latencies, m.icache.accesses, m.icache.misses)
+        };
+        assert_eq!(observe(false), observe(true));
     }
 
     #[test]

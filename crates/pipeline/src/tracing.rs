@@ -17,7 +17,7 @@
 use crate::hooks::{CustomExec, DecodeOutcome, Hooks, TrapDisposition, TrapEvent};
 use crate::state::MachineState;
 use crate::trap::Trap;
-use metal_isa::Insn;
+use metal_isa::{DecodedInsn, Insn};
 use metal_trace::EventKind;
 
 /// Wraps `H`, emitting hook-level trace events.
@@ -45,6 +45,21 @@ impl<H: Hooks> Hooks for TracingHooks<H> {
         let result = self.inner.fetch(state, pc);
         if matches!(result, Some(Ok(_))) {
             // An extension-provided fetch is an MRAM fetch under Metal.
+            state.trace.emit(EventKind::MramFetch { pc });
+        }
+        result
+    }
+
+    #[inline]
+    fn fetch_decoded(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+    ) -> Option<Result<(DecodedInsn, u32), Trap>> {
+        // Forward to the inner hook's own override (MRAM pre-decode),
+        // emitting the event here so it appears exactly once per fetch.
+        let result = self.inner.fetch_decoded(state, pc);
+        if matches!(result, Some(Ok(_))) {
             state.trace.emit(EventKind::MramFetch { pc });
         }
         result

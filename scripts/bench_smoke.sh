@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Bench smoke test: run the core benches in fast mode (each body
+# executes once, unmeasured) so CI catches benches that no longer
+# assemble, run, or halt — without paying measurement time.
+# Fails on any panic or nonzero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export METAL_BENCH_FAST=1
+
+for bench in sim_throughput transition; do
+    echo "==> bench smoke: $bench"
+    cargo bench -q -p metal-bench --bench "$bench"
+done
+
+echo "==> bench smoke passed"

@@ -16,4 +16,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    echo "==> bench smoke (CHECK_BENCH=1)"
+    scripts/bench_smoke.sh
+fi
+
 echo "==> all checks passed"

@@ -3,49 +3,23 @@
 //! hook implementation, so every mroutine scenario should end in the
 //! same architectural state.
 
+mod common;
+
+use common::both_engines;
 use metal_core::{Metal, MetalBuilder};
-use metal_pipeline::state::CoreConfig;
-use metal_pipeline::{Core, HaltReason, Interp};
 
-/// Builds the same Metal twice (it is `Clone`) and runs `src` on both
-/// engines, asserting identical halt and register state.
-fn both_engines(builder: MetalBuilder, src: &str) -> (u32, Metal, Metal) {
-    let (metal, image, _) = builder.build().expect("builds");
-    let words = metal_asm::assemble_at(src, 0).expect("assembles");
-    let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-
-    let mut core = Core::new(CoreConfig::default(), metal.clone());
-    for (base, data) in &image {
-        core.state.bus.ram.load(*base, data).unwrap();
-    }
-    core.load_segments([(0u32, bytes.as_slice())], 0);
-    let core_halt = core.run(10_000_000);
-
-    let mut interp = Interp::new(CoreConfig::default(), metal);
-    for (base, data) in &image {
-        interp.state.bus.ram.load(*base, data).unwrap();
-    }
-    interp.load_segments([(0u32, bytes.as_slice())], 0);
-    let interp_halt = interp.run(5_000_000);
-
-    assert_eq!(core_halt, interp_halt, "halt reasons diverged");
-    assert_eq!(
-        core.state.regs.snapshot(),
-        interp.state.regs.snapshot(),
-        "register files diverged"
-    );
-    let code = match core_halt {
-        Some(HaltReason::Ebreak { code }) => code,
-        other => panic!("expected ebreak, got {other:?}"),
-    };
-    (code, core.hooks, interp.hooks)
+/// Runs `src` on both engines via the shared harness and hands back the
+/// `ebreak` code plus each engine's Metal hook state.
+fn both_engine_hooks(builder: MetalBuilder, src: &str) -> (u32, Metal, Metal) {
+    let pair = both_engines(builder, src);
+    (pair.code, pair.core.hooks, pair.interp.hooks)
 }
 
 #[test]
 fn menter_mexit_agree() {
     let builder =
         MetalBuilder::new().routine(0, "triple", "slli t6, a0, 1\n add a0, a0, t6\n mexit");
-    let (code, ch, ih) = both_engines(builder, "li a0, 7\n menter 0\n ebreak");
+    let (code, ch, ih) = both_engine_hooks(builder, "li a0, 7\n menter 0\n ebreak");
     assert_eq!(code, 21);
     assert_eq!(ch.stats, ih.stats);
 }
@@ -57,7 +31,7 @@ fn mram_data_state_agrees() {
         "count",
         "mld t0, 0(zero)\n addi t0, t0, 1\n mst t0, 0(zero)\n mv a0, t0\n mexit",
     );
-    let (code, ch, ih) = both_engines(
+    let (code, ch, ih) = both_engine_hooks(
         builder,
         "menter 0\n menter 0\n menter 0\n menter 0\n ebreak",
     );
@@ -94,7 +68,7 @@ fn interception_agrees() {
         mv a0, a3
         ebreak
     ";
-    let (code, ch, ih) = both_engines(builder, src);
+    let (code, ch, ih) = both_engine_hooks(builder, src);
     assert_eq!(code, 30);
     assert_eq!(ch.stats.intercepts, 1);
     assert_eq!(ch.stats, ih.stats);
@@ -109,7 +83,7 @@ fn delegation_agrees() {
             "slli a0, a0, 2\n rmr t0, m31\n addi t0, t0, 4\n wmr m31, t0\n mexit",
         )
         .delegate_exception(metal_pipeline::TrapCause::Ecall, 0);
-    let (code, ch, ih) = both_engines(builder, "li a0, 5\n ecall\n addi a0, a0, 1\n ebreak");
+    let (code, ch, ih) = both_engine_hooks(builder, "li a0, 5\n ecall\n addi a0, a0, 1\n ebreak");
     assert_eq!(code, 21);
     assert_eq!(ch.stats.delegated_exceptions, 1);
     assert_eq!(ch.stats, ih.stats);
@@ -121,7 +95,7 @@ fn palcode_dispatch_agrees() {
         MetalBuilder::new()
             .palcode(0x20_0000)
             .routine(0, "inc", "addi a0, a0, 1\n mexit");
-    let (code, _, _) = both_engines(builder, "li a0, 1\n menter 0\n menter 0\n ebreak");
+    let (code, _, _) = both_engine_hooks(builder, "li a0, 1\n menter 0\n menter 0\n ebreak");
     assert_eq!(code, 3);
 }
 
@@ -178,7 +152,7 @@ fn nested_layers_agree() {
         lw a0, 0(s0)
         ebreak
     ";
-    let (code, ch, ih) = both_engines(builder, src);
+    let (code, ch, ih) = both_engine_hooks(builder, src);
     assert_eq!(code, 33);
     assert_eq!(ch.stats.intercepts, 2);
     assert_eq!(ch.stats, ih.stats);

@@ -1,21 +1,19 @@
 //! Cross-crate integration: a complete Metal system running a miniature
 //! OS with several architectural extensions installed side by side.
 
+mod common;
+
+use common::run_system_on;
+use metal_core::Metal;
 use metal_ext::kernel;
 use metal_ext::machine::run_guest;
-use metal_mem::devices::{map, Console, Timer};
+use metal_mem::devices::map;
 use metal_pipeline::state::CoreConfig;
-use metal_pipeline::HaltReason;
+use metal_pipeline::{Core, Engine, HaltReason, Interp};
 
-#[test]
-fn mini_os_boots_and_serves_syscalls() {
-    let mut core = kernel::builder()
-        .build_core(CoreConfig::default())
-        .expect("kernel builds");
-    let (console, out) = Console::new();
-    core.state
-        .bus
-        .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
+/// The mini-OS boot scenario, written once against [`Engine`] and run
+/// on both the pipelined core and the reference interpreter.
+fn mini_os_on<E: Engine<Hooks = Metal>>() {
     let user = r"
 user_main:
         li a1, '>'
@@ -29,9 +27,25 @@ user_main:
         li a0, 3
         menter 0            # exit(pid)
     ";
-    let halt = run_guest(&mut core, &kernel::system_source(user), 1_000_000);
-    assert_eq!(halt, Some(HaltReason::Ebreak { code: 1 }));
-    assert_eq!(out.lock().as_slice(), b">");
+    let booted = run_system_on::<E>(
+        kernel::builder(),
+        &kernel::system_source(user),
+        1_000_000,
+        false,
+    );
+    assert_eq!(
+        booted.halt,
+        Some(HaltReason::Ebreak { code: 1 }),
+        "engine {}",
+        E::name()
+    );
+    assert_eq!(booted.console, b">", "engine {}", E::name());
+}
+
+#[test]
+fn mini_os_boots_and_serves_syscalls() {
+    mini_os_on::<Core<Metal>>();
+    mini_os_on::<Interp<Metal>>();
 }
 
 #[test]
@@ -104,16 +118,6 @@ fn combined_kits_run_a_mixed_workload() {
 
 #[test]
 fn timer_and_console_devices_compose() {
-    let mut core = kernel::builder()
-        .build_core(CoreConfig::default())
-        .expect("kernel builds");
-    let (console, out) = Console::new();
-    core.state
-        .bus
-        .attach(map::CONSOLE_BASE, map::WINDOW_LEN, Box::new(console));
-    core.state
-        .bus
-        .attach(map::TIMER_BASE, map::WINDOW_LEN, Box::new(Timer::new()));
     // The kernel boots with devices attached; the user reads the cycle
     // counter via the timer MMIO and prints a tick mark.
     let user = r"
@@ -127,9 +131,14 @@ user_main:
         li a0, 3
         menter 0
     ";
-    let halt = run_guest(&mut core, &kernel::system_source(user), 1_000_000);
-    assert_eq!(halt, Some(HaltReason::Ebreak { code: 0 }));
-    assert_eq!(out.lock().as_slice(), b"*");
+    let booted = run_system_on::<Core<Metal>>(
+        kernel::builder(),
+        &kernel::system_source(user),
+        1_000_000,
+        true,
+    );
+    assert_eq!(booted.halt, Some(HaltReason::Ebreak { code: 0 }));
+    assert_eq!(booted.console, b"*");
 }
 
 #[test]

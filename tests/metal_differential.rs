@@ -1,12 +1,17 @@
 //! Property-based differential test *with Metal in the loop*: random
 //! guest programs that call randomly generated (verified) mroutines
 //! must leave the pipelined core and the reference interpreter in
-//! identical architectural state.
+//! identical architectural state. A second generator produces
+//! self-modifying programs that patch already-executed code, pinning
+//! the decode cache's generation-counter invalidation on both engines.
 
+mod common;
+
+use common::{boot_metal_engine, both_engines_with, CORE_LIMIT};
 use metal_core::{Metal, MetalBuilder};
 use metal_isa::reg::Reg;
 use metal_pipeline::state::CoreConfig;
-use metal_pipeline::{Core, HaltReason, Interp};
+use metal_pipeline::{Core, HaltReason};
 use metal_util::Rng;
 
 /// A tiny verified mroutine: a few arithmetic ops over a0/a1 and the
@@ -63,39 +68,130 @@ fn engines_agree_on_metal_programs() {
         let r0 = rand_routine(&mut rng);
         let r1 = rand_routine(&mut rng);
         let guest = rand_guest(&mut rng);
-        let (metal, _, _) = MetalBuilder::new()
+        let builder = MetalBuilder::new()
             .routine(0, "r0", &r0)
-            .routine(1, "r1", &r1)
-            .build()
-            .expect("generated routines verify");
-        let words = metal_asm::assemble_at(&guest, 0).expect("guest assembles");
-        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-
-        let mut core = Core::new(CoreConfig::default(), metal.clone());
-        core.load_segments([(0u32, bytes.as_slice())], 0);
-        let core_halt = core.run(5_000_000);
-
-        let mut interp: Interp<Metal> = Interp::new(CoreConfig::default(), metal);
-        interp.load_segments([(0u32, bytes.as_slice())], 0);
-        let interp_halt = interp.run(2_000_000);
-
+            .routine(1, "r1", &r1);
+        let label = format!("case {case} (r0:\n{r0}\nr1:\n{r1})");
+        let pair = both_engines_with(CoreConfig::default(), builder, &guest, &label);
         assert_eq!(
-            &core_halt, &interp_halt,
-            "case {case}: halt diverged\nguest:\n{guest}"
+            pair.core.state.regs.get(Reg::A0),
+            pair.interp.state.regs.get(Reg::A0)
         );
-        let is_ebreak = matches!(core_halt, Some(HaltReason::Ebreak { .. }));
-        assert!(is_ebreak, "case {case}: program must halt via ebreak");
-        assert_eq!(
-            core.state.regs.snapshot(),
-            interp.state.regs.snapshot(),
-            "case {case}: registers diverged\nguest:\n{guest}\nr0:\n{r0}\nr1:\n{r1}"
-        );
-        assert_eq!(core.state.regs.get(Reg::A0), interp.state.regs.get(Reg::A0));
         // Metal-side state agrees too: MRAM data and the MReg file.
-        assert_eq!(core.hooks.mram.data(), interp.hooks.mram.data());
+        assert_eq!(pair.core.hooks.mram.data(), pair.interp.hooks.mram.data());
         for m in 0..8 {
-            assert_eq!(core.hooks.mregs.get(m), interp.hooks.mregs.get(m));
+            assert_eq!(pair.core.hooks.mregs.get(m), pair.interp.hooks.mregs.get(m));
         }
-        assert_eq!(core.hooks.stats, interp.hooks.stats);
+        assert_eq!(pair.core.hooks.stats, pair.interp.hooks.stats);
+    }
+}
+
+/// A self-modifying guest: a loop whose head instruction (`slot`) is
+/// overwritten mid-flight with a different `addi` immediate, so later
+/// passes execute the patched instruction. The store lands on a line
+/// that has already been fetched and decoded — exactly the case the
+/// decode cache's generation counter must catch.
+///
+/// Oracle: pass 1 executes `addi a0, a0, imm1`; the remaining
+/// `passes-1` iterations execute the patched `addi a0, a0, imm2`. An
+/// engine serving stale decoded state gets a different a0 even when
+/// both engines are equally stale, so this is checked against the
+/// closed form, not just cross-engine.
+fn smc_guest(rng: &mut Rng) -> (String, u32) {
+    let passes = rng.range_u32(2, 5) as i32;
+    let imm1 = rng.range_i32(-100, 100);
+    let imm2 = rng.range_i32(-100, 100);
+    let patched =
+        metal_asm::assemble_at(&format!("addi a0, a0, {imm2}"), 0).expect("patch assembles")[0];
+    let src = format!(
+        r"
+        li a0, 0
+        li s1, {passes}
+    loop:
+    slot:
+        addi a0, a0, {imm1}
+        la t0, slot
+        li t1, {patched}
+        sw t1, 0(t0)
+        addi s1, s1, -1
+        bnez s1, loop
+        ebreak
+        "
+    );
+    let expected = (imm1 as u32).wrapping_add((imm2 as u32).wrapping_mul((passes - 1) as u32));
+    (src, expected)
+}
+
+#[test]
+fn engines_agree_on_self_modifying_code() {
+    let mut rng = Rng::new(0x0054_C0DE);
+    for case in 0..24 {
+        let (guest, expected) = smc_guest(&mut rng);
+        let label = format!("smc case {case}");
+        let pair = both_engines_with(
+            CoreConfig::default(),
+            MetalBuilder::new().routine(0, "noop", "mexit"),
+            &guest,
+            &label,
+        );
+        assert_eq!(
+            pair.core.state.regs.get(Reg::A0),
+            expected,
+            "{label}: stale decode survived the store\nguest:\n{guest}"
+        );
+        // The store to the already-decoded line must have tripped the
+        // generation counter on both engines: one invalidation from
+        // load_segments, at least one from the patch.
+        for (name, dc) in [
+            ("core", &pair.core.state.decode_cache),
+            ("interp", &pair.interp.state.decode_cache),
+        ] {
+            assert!(
+                dc.invalidations() >= 2,
+                "{label}: {name} saw {} invalidations, expected >= 2",
+                dc.invalidations()
+            );
+        }
+    }
+}
+
+#[test]
+fn decode_cache_does_not_perturb_timing_under_smc() {
+    // Zero-perturbation: the decode cache is a host-side optimization,
+    // so switching it off must reproduce identical registers AND
+    // identical cycle counts, even under self-modifying code.
+    let mut rng = Rng::new(0xD15A_B1ED);
+    for case in 0..8 {
+        let (guest, expected) = smc_guest(&mut rng);
+        let program = common::assemble_flat(&guest);
+        let run = |decode_cache: bool| -> Core<Metal> {
+            let config = CoreConfig {
+                decode_cache,
+                ..CoreConfig::default()
+            };
+            let builder = MetalBuilder::new().routine(0, "noop", "mexit");
+            let (core, halt) =
+                boot_metal_engine::<Core<Metal>>(builder, config, &program, CORE_LIMIT);
+            assert!(
+                matches!(halt, Some(HaltReason::Ebreak { .. })),
+                "case {case}: halted with {halt:?}"
+            );
+            core
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.state.regs.get(Reg::A0), expected, "case {case}");
+        assert_eq!(
+            on.state.regs.snapshot(),
+            off.state.regs.snapshot(),
+            "case {case}: cache on/off diverged architecturally"
+        );
+        assert_eq!(
+            on.state.perf.cycles, off.state.perf.cycles,
+            "case {case}: decode cache perturbed cycle count"
+        );
+        assert!(on.state.decode_cache.enabled());
+        assert!(!off.state.decode_cache.enabled());
+        assert_eq!(off.state.decode_cache.hits(), 0);
     }
 }
