@@ -1,0 +1,540 @@
+//! Case execution: three persistent engines reset by snapshot/restore.
+//!
+//! A [`CaseRunner`] owns a pipelined core (decode cache on), a second
+//! pipelined core (decode cache off), and the reference interpreter,
+//! each constructed **once**. Between cases the machines are rewound
+//! with [`metal_pipeline::Engine::restore`] — a RAM memcpy plus field
+//! copies, microseconds instead of a rebuild — and only the per-case
+//! Metal extension (mroutines, delegations) is constructed fresh.
+//!
+//! The differential oracle is two-sided:
+//!
+//! * **cross-engine**: core (decode cache on) vs interpreter must agree
+//!   on halt, registers, Metal registers, MRAM data, Metal stats,
+//!   `instret`, and the retirement order;
+//! * **cross-configuration**: the two cores must agree on *cycle
+//!   counts* — the decode cache is a host-side optimization and any
+//!   timing perturbation is a bug.
+
+use crate::grammar::FuzzCase;
+use metal_core::{Metal, MetalBuilder, MetalStats};
+use metal_isa::insn::{Insn, MulOp};
+use metal_isa::DispatchTag;
+use metal_pipeline::hooks::{CustomExec, DecodeOutcome, TrapDisposition, TrapEvent};
+use metal_pipeline::state::{CoreConfig, MachineState, TranslationMode};
+use metal_pipeline::{Core, Engine, EngineSnapshot, HaltReason, Hooks, Interp, Trap};
+use metal_trace::{Event, EventKind, TraceConfig, TraceHandle};
+
+/// Cycle budget per case on the pipelined cores.
+pub const CORE_LIMIT: u64 = 2_000_000;
+/// Step budget per case on the interpreter.
+pub const INTERP_LIMIT: u64 = 1_000_000;
+
+/// Retirement PCs recorded per run (the tail is summarized by count).
+const RETIRE_CAP: usize = 4096;
+
+/// A deliberately injected engine bug, used to validate that the fuzzer
+/// finds and shrinks real divergences (`mfuzz --inject-bug`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BugKind {
+    /// No bug: engines should always agree.
+    None,
+    /// Flip the low result bit of every retired `mul` on the pipelined
+    /// cores only — a subtle single-instruction corruption.
+    MulLowBit,
+}
+
+impl BugKind {
+    /// Parses the `--inject-bug` operand.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BugKind> {
+        match s {
+            "none" => Some(BugKind::None),
+            "mul" => Some(BugKind::MulLowBit),
+            _ => None,
+        }
+    }
+}
+
+/// The fuzzer's [`Hooks`]: the real Metal extension plus retirement
+/// observation (dispatch tags, retirement order) and optional bug
+/// injection. Every extension decision is delegated to Metal verbatim,
+/// so behavior with `BugKind::None` is bit-identical to running Metal
+/// directly.
+#[derive(Clone)]
+pub struct FuzzHooks {
+    /// The wrapped extension.
+    pub metal: Metal,
+    /// The injected bug, if any.
+    pub bug: BugKind,
+    /// Bitmask of [`DispatchTag`]s seen at retirement.
+    pub tags: u32,
+    /// First [`RETIRE_CAP`] retired PCs.
+    pub retired: Vec<u32>,
+    /// Total retirements (beyond the recorded prefix).
+    pub retired_total: u64,
+}
+
+impl FuzzHooks {
+    /// Wraps an extension.
+    #[must_use]
+    pub fn new(metal: Metal, bug: BugKind) -> FuzzHooks {
+        FuzzHooks {
+            metal,
+            bug,
+            tags: 0,
+            retired: Vec::new(),
+            retired_total: 0,
+        }
+    }
+}
+
+fn tag_bit(insn: &Insn) -> u32 {
+    let tag = metal_isa::decoded::DecodedInsn::from_insn(0, *insn).tag;
+    1 << match tag {
+        DispatchTag::Simple => 0,
+        DispatchTag::Load => 1,
+        DispatchTag::Store => 2,
+        DispatchTag::PhysMem => 3,
+        DispatchTag::Control => 4,
+        DispatchTag::Illegal => 5,
+    }
+}
+
+impl Hooks for FuzzHooks {
+    fn fetch(&mut self, state: &mut MachineState, pc: u32) -> Option<Result<(u32, u32), Trap>> {
+        self.metal.fetch(state, pc)
+    }
+
+    fn fetch_decoded(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+    ) -> Option<Result<(metal_isa::DecodedInsn, u32), Trap>> {
+        self.metal.fetch_decoded(state, pc)
+    }
+
+    fn decode_is_sensitive(&self, state: &MachineState, word: u32, insn: &Insn) -> bool {
+        self.metal.decode_is_sensitive(state, word, insn)
+    }
+
+    fn decode(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+        word: u32,
+        insn: &Insn,
+    ) -> DecodeOutcome {
+        self.metal.decode(state, pc, word, insn)
+    }
+
+    fn exec_custom(
+        &mut self,
+        state: &mut MachineState,
+        pc: u32,
+        word: u32,
+        insn: &Insn,
+        rs1: u32,
+        rs2: u32,
+    ) -> Result<CustomExec, Trap> {
+        self.metal.exec_custom(state, pc, word, insn, rs1, rs2)
+    }
+
+    fn on_trap(&mut self, state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
+        self.metal.on_trap(state, event)
+    }
+
+    fn interrupts_allowed(&self, state: &MachineState) -> bool {
+        self.metal.interrupts_allowed(state)
+    }
+
+    fn on_retire(&mut self, state: &mut MachineState, pc: u32, insn: &Insn) {
+        self.metal.on_retire(state, pc, insn);
+        self.tags |= tag_bit(insn);
+        if self.retired.len() < RETIRE_CAP {
+            self.retired.push(pc);
+        }
+        self.retired_total += 1;
+        if self.bug == BugKind::MulLowBit {
+            if let Insn::MulDiv {
+                op: MulOp::Mul, rd, ..
+            } = insn
+            {
+                state.regs.set(*rd, state.regs.get(*rd) ^ 1);
+            }
+        }
+    }
+}
+
+/// Everything observed from one engine's run of one case.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// How (and whether) the machine halted.
+    pub halt: Option<HaltReason>,
+    /// Final general-purpose registers.
+    pub regs: [u32; 32],
+    /// Final Metal registers m0..m31.
+    pub mregs: [u32; 32],
+    /// Final MRAM private-data segment.
+    pub mram_data: Vec<u8>,
+    /// Metal transition/delegation counters.
+    pub stats: MetalStats,
+    /// Final ASID.
+    pub asid: u16,
+    /// Elapsed cycles (steps on the interpreter).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Retirement order (first [`RETIRE_CAP`] PCs) and total count.
+    pub retired: Vec<u32>,
+    /// Total retirements.
+    pub retired_total: u64,
+    /// The run's trace events (coverage input).
+    pub events: Vec<Event>,
+    /// Dispatch tags retired, as a bitmask.
+    pub tags: u32,
+}
+
+/// Discriminant of the halt shape, a coverage feature.
+#[must_use]
+pub fn halt_kind(halt: &Option<HaltReason>) -> u32 {
+    match halt {
+        None => 0,
+        Some(HaltReason::Ebreak { .. }) => 1,
+        Some(HaltReason::Fatal(_)) => 2,
+    }
+}
+
+/// The outcome of running one case on all three machines.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// A human-readable divergence description, if any oracle fired.
+    pub divergence: Option<String>,
+    /// True when either engine hit its budget without halting: the run
+    /// is not comparable (the budgets are in different units) and the
+    /// case is discarded rather than diffed.
+    pub hang: bool,
+    /// The decode-cache-enabled core's run (the coverage source).
+    pub core: EngineRun,
+    /// The reference interpreter's run (the expectation source).
+    pub interp: EngineRun,
+}
+
+/// Why a case could not be run at all (malformed candidate — the
+/// shrinker treats these as uninteresting, the campaign as a generator
+/// bug).
+#[derive(Clone, Debug)]
+pub struct BuildError(pub String);
+
+/// Three persistent engines plus their pristine snapshots.
+pub struct CaseRunner {
+    core_dc: Core<FuzzHooks>,
+    core_nodc: Core<FuzzHooks>,
+    interp: Interp<FuzzHooks>,
+    pristine_dc: EngineSnapshot<FuzzHooks>,
+    pristine_nodc: EngineSnapshot<FuzzHooks>,
+    pristine_interp: EngineSnapshot<FuzzHooks>,
+    bug: BugKind,
+}
+
+/// RAM size of the fuzzing machines — small keeps restore fast.
+pub const FUZZ_RAM: usize = 1 << 20;
+
+fn fuzz_config(decode_cache: bool) -> CoreConfig {
+    CoreConfig {
+        ram_bytes: FUZZ_RAM,
+        decode_cache,
+        ..CoreConfig::default()
+    }
+}
+
+fn empty_hooks() -> FuzzHooks {
+    FuzzHooks::new(
+        Metal::new(metal_core::MetalConfig::default()),
+        BugKind::None,
+    )
+}
+
+impl CaseRunner {
+    /// Builds the three machines and their pristine snapshots. `bug` is
+    /// applied to the pipelined cores only (the interpreter stays the
+    /// trusted reference).
+    #[must_use]
+    pub fn new(bug: BugKind) -> CaseRunner {
+        let core_dc = Core::new(fuzz_config(true), empty_hooks());
+        let core_nodc = Core::new(fuzz_config(false), empty_hooks());
+        let interp = Interp::new(fuzz_config(true), empty_hooks());
+        CaseRunner {
+            pristine_dc: core_dc.snapshot(),
+            pristine_nodc: core_nodc.snapshot(),
+            pristine_interp: interp.snapshot(),
+            core_dc,
+            core_nodc,
+            interp,
+            bug,
+        }
+    }
+
+    /// Builds the per-case Metal extension and assembles the guest.
+    fn prepare(case: &FuzzCase) -> Result<(Metal, Vec<u8>), BuildError> {
+        let mut builder = MetalBuilder::new();
+        for r in &case.routines {
+            builder = builder.routine(r.entry, &r.name, &r.src);
+        }
+        for &(cause, entry) in &case.delegations {
+            builder = builder.delegate_exception(cause, entry);
+        }
+        let (metal, palcode, _warnings) = builder
+            .build()
+            .map_err(|e| BuildError(format!("metal build: {e:?}")))?;
+        debug_assert!(palcode.is_empty(), "fuzz cases use MRAM dispatch");
+        let words = metal_asm::assemble_at(&case.guest, 0)
+            .map_err(|e| BuildError(format!("guest assembly: {e}")))?;
+        let program = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        Ok((metal, program))
+    }
+
+    fn run_one<E: Engine<Hooks = FuzzHooks>>(
+        engine: &mut E,
+        pristine: &EngineSnapshot<FuzzHooks>,
+        metal: &Metal,
+        bug: BugKind,
+        soft_tlb: bool,
+        program: &[u8],
+        limit: u64,
+    ) -> EngineRun {
+        engine.restore(pristine);
+        *engine.hooks_mut() = FuzzHooks::new(metal.clone(), bug);
+        engine
+            .state_mut()
+            .set_trace(TraceHandle::enabled(TraceConfig {
+                capacity: 1 << 15,
+                ..TraceConfig::default()
+            }));
+        if soft_tlb {
+            engine.state_mut().translation = TranslationMode::SoftTlb;
+        }
+        engine.load_segments([(0u32, program)], 0);
+        let halt = engine.run(limit);
+        let state = engine.state();
+        let hooks = engine.hooks();
+        let mut mregs = [0u32; 32];
+        for (n, m) in mregs.iter_mut().enumerate() {
+            *m = hooks.metal.mregs.get(n);
+        }
+        EngineRun {
+            halt,
+            regs: state.regs.snapshot(),
+            mregs,
+            mram_data: hooks.metal.mram.data().to_vec(),
+            stats: hooks.metal.stats,
+            asid: state.asid,
+            cycles: state.perf.cycles,
+            instret: state.perf.instret,
+            retired: hooks.retired.clone(),
+            retired_total: hooks.retired_total,
+            events: state.trace.events(),
+            tags: hooks.tags,
+        }
+    }
+
+    /// Runs one case on all three machines and applies both oracles.
+    pub fn run(&mut self, case: &FuzzCase) -> Result<CaseResult, BuildError> {
+        let (metal, program) = Self::prepare(case)?;
+        let core = Self::run_one(
+            &mut self.core_dc,
+            &self.pristine_dc,
+            &metal,
+            self.bug,
+            case.soft_tlb,
+            &program,
+            CORE_LIMIT,
+        );
+        let nodc = Self::run_one(
+            &mut self.core_nodc,
+            &self.pristine_nodc,
+            &metal,
+            self.bug,
+            case.soft_tlb,
+            &program,
+            CORE_LIMIT,
+        );
+        let interp = Self::run_one(
+            &mut self.interp,
+            &self.pristine_interp,
+            &metal,
+            BugKind::None,
+            case.soft_tlb,
+            &program,
+            INTERP_LIMIT,
+        );
+        let hang = core.halt.is_none() || nodc.halt.is_none() || interp.halt.is_none();
+        let divergence = if hang {
+            None
+        } else {
+            diff_runs(&core, &nodc, &interp)
+        };
+        Ok(CaseResult {
+            divergence,
+            hang,
+            core,
+            interp,
+        })
+    }
+}
+
+/// Compares the three runs; `Some(description)` on the first mismatch.
+fn diff_runs(core: &EngineRun, nodc: &EngineRun, interp: &EngineRun) -> Option<String> {
+    // Cross-engine: core (decode cache on) vs the reference interpreter.
+    if core.halt != interp.halt {
+        return Some(format!(
+            "halt: core={:?} interp={:?}",
+            core.halt, interp.halt
+        ));
+    }
+    if matches!(core.halt, Some(HaltReason::Fatal(_))) {
+        // A Fatal stop is a simulator abort, not architectural
+        // behavior: the pipeline abandons older in-flight instructions
+        // (they never reach writeback), so fine-grained state is
+        // best-effort there. Both engines agreeing on the identical
+        // fatal message (cause, pc, tval) is the whole contract; the
+        // two pipelined cores are still held to full equality below.
+        return diff_cores(core, nodc);
+    }
+    for i in 0..32 {
+        if core.regs[i] != interp.regs[i] {
+            return Some(format!(
+                "x{i}: core={:#010x} interp={:#010x}",
+                core.regs[i], interp.regs[i]
+            ));
+        }
+        if core.mregs[i] != interp.mregs[i] {
+            return Some(format!(
+                "m{i}: core={:#010x} interp={:#010x}",
+                core.mregs[i], interp.mregs[i]
+            ));
+        }
+    }
+    if core.mram_data != interp.mram_data {
+        return Some("MRAM data segments differ".to_owned());
+    }
+    if core.stats != interp.stats {
+        return Some(format!(
+            "Metal stats: core={:?} interp={:?}",
+            core.stats, interp.stats
+        ));
+    }
+    if core.asid != interp.asid {
+        return Some(format!("asid: core={} interp={}", core.asid, interp.asid));
+    }
+    if core.instret != interp.instret {
+        return Some(format!(
+            "instret: core={} interp={}",
+            core.instret, interp.instret
+        ));
+    }
+    if core.retired_total != interp.retired_total || core.retired != interp.retired {
+        let first = core
+            .retired
+            .iter()
+            .zip(&interp.retired)
+            .position(|(a, b)| a != b);
+        return Some(format!(
+            "retirement order diverged (first mismatch at index {first:?})"
+        ));
+    }
+    diff_cores(core, nodc)
+}
+
+/// Cross-configuration oracle: the decode cache must not perturb
+/// timing or architecture.
+fn diff_cores(core: &EngineRun, nodc: &EngineRun) -> Option<String> {
+    if core.halt != nodc.halt {
+        return Some(format!(
+            "decode cache perturbed halt: on={:?} off={:?}",
+            core.halt, nodc.halt
+        ));
+    }
+    if core.cycles != nodc.cycles {
+        return Some(format!(
+            "decode cache perturbed cycles: on={} off={}",
+            core.cycles, nodc.cycles
+        ));
+    }
+    if core.regs != nodc.regs || core.retired != nodc.retired {
+        return Some("decode cache perturbed architectural state".to_owned());
+    }
+    None
+}
+
+/// The retirement-order events of a run, for tests that want to inspect
+/// the sequence the trace saw (pipeline only; the interpreter reports
+/// through [`EngineRun::retired`]).
+#[must_use]
+pub fn retire_pcs(events: &[Event]) -> Vec<u32> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Retire { pc } => Some(pc),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar;
+
+    #[test]
+    fn clean_engines_agree_over_many_seeds() {
+        let mut runner = CaseRunner::new(BugKind::None);
+        let mut agreed = 0;
+        for seed in 0..60u64 {
+            let case = grammar::generate(seed);
+            let res = runner.run(&case).expect("generated cases build");
+            assert!(
+                res.divergence.is_none(),
+                "seed {seed} diverged: {}\nguest:\n{}",
+                res.divergence.unwrap(),
+                case.guest
+            );
+            if !res.hang {
+                agreed += 1;
+            }
+        }
+        assert!(agreed > 50, "most cases must terminate, got {agreed}");
+    }
+
+    #[test]
+    fn injected_bug_is_observable() {
+        let mut runner = CaseRunner::new(BugKind::MulLowBit);
+        let case = FuzzCase {
+            seed: 0,
+            routines: vec![],
+            delegations: vec![],
+            soft_tlb: false,
+            guest: "li a0, 3\nli a1, 5\nmul a0, a0, a1\nebreak".to_owned(),
+        };
+        let res = runner.run(&case).unwrap();
+        let what = res.divergence.expect("bug must diverge");
+        assert!(what.contains("core"), "{what}");
+    }
+
+    #[test]
+    fn persistent_runner_is_coherent_across_cases() {
+        // State must not leak between cases: running A, then B, then A
+        // again reproduces A's first result exactly.
+        let mut runner = CaseRunner::new(BugKind::None);
+        let a = grammar::generate(11);
+        let b = grammar::generate(12);
+        let first = runner.run(&a).unwrap();
+        runner.run(&b).unwrap();
+        let again = runner.run(&a).unwrap();
+        assert_eq!(first.core.regs, again.core.regs);
+        assert_eq!(first.core.cycles, again.core.cycles);
+        assert_eq!(first.core.instret, again.core.instret);
+        assert_eq!(first.interp.regs, again.interp.regs);
+        assert_eq!(first.core.events.len(), again.core.events.len());
+    }
+}

@@ -1,0 +1,342 @@
+//! Coverage-guided differential fuzzing for the Metal engines.
+//!
+//! `metal-fuzz` closes the loop the differential tests open by hand:
+//! it *generates* Metal programs from a weighted grammar ([`grammar`]),
+//! runs each on the cycle-accurate core (twice: decode cache on and
+//! off) and the reference interpreter ([`exec`]), and diffs
+//! architectural state, retirement order, Metal statistics, and cycle
+//! counts. Novelty is judged by a compact coverage bitmap fed from
+//! `metal-trace` events ([`coverage`]); interesting inputs are kept as
+//! human-readable, replayable artifacts ([`artifact`]); diverging
+//! inputs are minimized to small repros ([`shrink`]).
+//!
+//! Case reset uses the engine snapshot/restore path
+//! ([`metal_pipeline::Engine::snapshot`]) so each case costs a memcpy,
+//! not a machine rebuild.
+//!
+//! # Determinism
+//!
+//! Every case is identified by a seed derived from
+//! `(campaign seed, shard, index)` with a SplitMix64-style mixer, so:
+//!
+//! * with `--cases N`, a campaign is **exactly** reproducible: same
+//!   seed ⇒ same cases, same corpus file names and contents, same
+//!   coverage count;
+//! * with `--seconds T`, the case *schedule* per shard is a fixed
+//!   sequence and the wall clock only decides the cut-off, so any
+//!   artifact the run produces is reproducible from its file name
+//!   alone (it encodes the case seed).
+
+pub mod artifact;
+pub mod coverage;
+pub mod exec;
+pub mod grammar;
+pub mod shrink;
+
+pub use coverage::CoverageMap;
+pub use exec::{BugKind, CaseResult, CaseRunner};
+pub use grammar::FuzzCase;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Campaign parameters (the `mfuzz` command line).
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Campaign seed; every case seed derives from it.
+    pub seed: u64,
+    /// Worker shards.
+    pub jobs: usize,
+    /// Wall-clock budget.
+    pub seconds: Option<u64>,
+    /// Exact case budget (split across shards; fully deterministic).
+    pub cases: Option<u64>,
+    /// Where to write corpus and divergence artifacts.
+    pub corpus_dir: Option<PathBuf>,
+    /// Injected engine bug (validation mode).
+    pub bug: BugKind,
+    /// Minimize divergences before reporting them.
+    pub shrink: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 1,
+            jobs: 1,
+            seconds: None,
+            cases: None,
+            corpus_dir: None,
+            bug: BugKind::None,
+            shrink: true,
+        }
+    }
+}
+
+/// A minimized divergence, ready to report.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Seed of the originating case.
+    pub seed: u64,
+    /// What the oracle saw.
+    pub what: String,
+    /// The (shrunk) case.
+    pub case: FuzzCase,
+    /// Instruction count of the shrunk case.
+    pub insns: usize,
+    /// Artifact path, when a corpus directory was given.
+    pub artifact: Option<PathBuf>,
+}
+
+/// What a campaign did.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Cases executed (across all shards).
+    pub cases: u64,
+    /// Cases that hit a run budget without halting.
+    pub hangs: u64,
+    /// Cases rejected by the builder/assembler (generator bugs).
+    pub rejects: u64,
+    /// Bits set in the merged coverage map.
+    pub coverage: usize,
+    /// Corpus artifacts written this campaign.
+    pub corpus: Vec<PathBuf>,
+    /// Divergences found (shrunk when configured).
+    pub divergences: Vec<Divergence>,
+}
+
+/// SplitMix64-style mix of (campaign seed, shard, index) into a case
+/// seed. Stable across releases: artifact reproducibility depends on
+/// it.
+#[must_use]
+pub fn case_seed(campaign: u64, shard: u64, index: u64) -> u64 {
+    let mut z = campaign
+        .wrapping_add(shard.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Divergences shrunk per shard before the rest are reported unshrunk.
+const SHRINK_CAP: usize = 3;
+/// Predicate evaluations allowed per shrink.
+const SHRINK_BUDGET: usize = 2_000;
+
+struct ShardOutcome {
+    cases: u64,
+    hangs: u64,
+    rejects: u64,
+    coverage: CoverageMap,
+    corpus: Vec<PathBuf>,
+    divergences: Vec<Divergence>,
+}
+
+fn run_shard(
+    config: &CampaignConfig,
+    shard: usize,
+    budget: Option<u64>,
+    deadline: Option<Instant>,
+    stop: &AtomicBool,
+) -> ShardOutcome {
+    let mut runner = CaseRunner::new(config.bug);
+    let mut out = ShardOutcome {
+        cases: 0,
+        hangs: 0,
+        rejects: 0,
+        coverage: CoverageMap::new(),
+        corpus: Vec::new(),
+        divergences: Vec::new(),
+    };
+    let mut index = 0u64;
+    loop {
+        if let Some(n) = budget {
+            if index >= n {
+                break;
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let seed = case_seed(config.seed, shard as u64, index);
+        index += 1;
+        let case = grammar::generate(seed);
+        let result = match runner.run(&case) {
+            Ok(r) => r,
+            Err(_) => {
+                out.rejects += 1;
+                continue;
+            }
+        };
+        out.cases += 1;
+        if result.hang {
+            out.hangs += 1;
+            continue;
+        }
+        if let Some(what) = result.divergence.clone() {
+            let div = minimize(&mut runner, &case, &what, config, shard, &mut out);
+            out.divergences.push(div);
+            continue;
+        }
+        let novel = out.coverage.observe_run(
+            &result.core.events,
+            result.core.tags,
+            exec::halt_kind(&result.core.halt),
+        );
+        if novel {
+            if let Some(dir) = &config.corpus_dir {
+                let name = format!("c{shard:02}_{:06}_{seed:016x}.s", index - 1);
+                let path = dir.join(name);
+                let text = artifact::serialize(&case, &result.interp);
+                if std::fs::write(&path, text).is_ok() {
+                    out.corpus.push(path);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks one divergence (up to the per-shard cap) and writes its
+/// artifact.
+fn minimize(
+    runner: &mut CaseRunner,
+    case: &FuzzCase,
+    what: &str,
+    config: &CampaignConfig,
+    shard: usize,
+    out: &mut ShardOutcome,
+) -> Divergence {
+    let shrunk = if config.shrink && out.divergences.len() < SHRINK_CAP {
+        shrink::shrink(
+            case,
+            |cand| {
+                runner
+                    .run(cand)
+                    .map(|r| !r.hang && r.divergence.is_some())
+                    .unwrap_or(false)
+            },
+            SHRINK_BUDGET,
+        )
+    } else {
+        case.clone()
+    };
+    // Re-run the final case: the artifact records the *reference*
+    // expectations, so replay keeps failing while the bug lives.
+    let (what, reference) = match runner.run(&shrunk) {
+        Ok(r) => (
+            r.divergence.unwrap_or_else(|| what.to_owned()),
+            Some(r.interp),
+        ),
+        Err(_) => (what.to_owned(), None),
+    };
+    let artifact = match (&config.corpus_dir, &reference) {
+        (Some(dir), Some(reference)) => {
+            let path = dir.join(format!("div_{shard:02}_{:016x}.s", case.seed));
+            let text = artifact::serialize(&shrunk, reference);
+            std::fs::write(&path, text).ok().map(|()| path)
+        }
+        _ => None,
+    };
+    Divergence {
+        seed: case.seed,
+        what,
+        insns: shrink::insn_count(&shrunk),
+        case: shrunk,
+        artifact,
+    }
+}
+
+/// Runs a fuzzing campaign across `config.jobs` worker threads.
+///
+/// With a `cases` budget the split is exact (`n / jobs` each, the
+/// remainder spread over the first shards) so results are bit-for-bit
+/// reproducible. With only a `seconds` budget, shards run their fixed
+/// per-shard schedule until the deadline.
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let jobs = config.jobs.max(1);
+    if let Some(dir) = &config.corpus_dir {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let deadline = config
+        .seconds
+        .map(|s| Instant::now() + Duration::from_secs(s));
+    let budgets: Vec<Option<u64>> = (0..jobs)
+        .map(|shard| {
+            config.cases.map(|n| {
+                let base = n / jobs as u64;
+                let extra = u64::from((shard as u64) < n % jobs as u64);
+                base + extra
+            })
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|shard| {
+                let config = &*config;
+                let stop = &stop;
+                let budget = budgets[shard];
+                scope.spawn(move || run_shard(config, shard, budget, deadline, stop))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut report = CampaignReport::default();
+    let mut merged = CoverageMap::new();
+    for out in outcomes {
+        report.cases += out.cases;
+        report.hangs += out.hangs;
+        report.rejects += out.rejects;
+        merged.merge(&out.coverage);
+        report.corpus.extend(out.corpus);
+        report.divergences.extend(out.divergences);
+    }
+    report.coverage = merged.count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seed_is_well_mixed() {
+        // Adjacent (shard, index) pairs land far apart.
+        let a = case_seed(1, 0, 0);
+        let b = case_seed(1, 0, 1);
+        let c = case_seed(1, 1, 0);
+        let d = case_seed(2, 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert!(
+            (a ^ b).count_ones() > 8,
+            "consecutive indices differ in many bits"
+        );
+    }
+
+    #[test]
+    fn small_campaign_is_deterministic() {
+        let config = CampaignConfig {
+            seed: 9,
+            jobs: 2,
+            cases: Some(40),
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.divergences.len(), b.divergences.len());
+        assert!(a.cases + a.rejects == 40);
+        assert_eq!(a.divergences.len(), 0, "clean engines must not diverge");
+    }
+}

@@ -1,0 +1,186 @@
+//! Greedy test-case minimization.
+//!
+//! Given a diverging case and a predicate that re-checks the
+//! divergence, [`shrink`] repeatedly tries structural deletions —
+//! drop a delegation, drop a whole routine, drop a guest line, drop a
+//! routine body line — keeping any candidate for which the predicate
+//! still fires, until a full pass removes nothing (a fixpoint) or the
+//! attempt budget runs out. Candidates that no longer build or
+//! assemble simply don't reproduce and are rejected by the predicate's
+//! caller, so the shrinker needs no assembler knowledge beyond "keep
+//! the trailing `mexit`".
+
+use crate::grammar::FuzzCase;
+
+/// Total instructions across the guest and all routines; the artifact
+/// size metric reported after shrinking.
+#[must_use]
+pub fn insn_count(case: &FuzzCase) -> usize {
+    let count = |src: &str| {
+        metal_asm::assemble_at(src, 0)
+            .map(|words| words.len())
+            .unwrap_or(usize::MAX / 64)
+    };
+    count(&case.guest) + case.routines.iter().map(|r| count(&r.src)).sum::<usize>()
+}
+
+fn without_line(src: &str, idx: usize) -> String {
+    src.lines()
+        .enumerate()
+        .filter(|&(i, _)| i != idx)
+        .map(|(_, l)| l)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Minimizes `case` under `still_fails`, spending at most `budget`
+/// predicate evaluations. The input case must already satisfy the
+/// predicate; the result always does.
+pub fn shrink<F>(case: &FuzzCase, mut still_fails: F, budget: usize) -> FuzzCase
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    let mut best = case.clone();
+    let mut spent = 0usize;
+    let mut try_candidate = |best: &mut FuzzCase, cand: FuzzCase, spent: &mut usize| {
+        if *spent >= budget {
+            return false;
+        }
+        *spent += 1;
+        if still_fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+    loop {
+        let mut progressed = false;
+
+        // Drop whole delegations.
+        let mut i = 0;
+        while i < best.delegations.len() {
+            let mut cand = best.clone();
+            cand.delegations.remove(i);
+            if try_candidate(&mut best, cand, &mut spent) {
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Drop whole routines (and any delegation pointing at them).
+        let mut i = 0;
+        while i < best.routines.len() {
+            let entry = best.routines[i].entry;
+            let mut cand = best.clone();
+            cand.routines.remove(i);
+            cand.delegations.retain(|&(_, e)| e != entry);
+            if try_candidate(&mut best, cand, &mut spent) {
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Drop guest lines, longest-suffix first so dead tails go fast.
+        let mut i = best.guest.lines().count();
+        while i > 0 {
+            i -= 1;
+            let mut cand = best.clone();
+            cand.guest = without_line(&best.guest, i);
+            if try_candidate(&mut best, cand, &mut spent) {
+                progressed = true;
+            }
+        }
+
+        // Drop routine body lines, preserving a trailing `mexit` so the
+        // routine still verifies.
+        for r in 0..best.routines.len() {
+            let lines = best.routines[r].src.lines().count();
+            let mut i = lines;
+            while i > 0 {
+                i -= 1;
+                let line = best.routines[r]
+                    .src
+                    .lines()
+                    .nth(i)
+                    .unwrap_or("")
+                    .trim()
+                    .to_owned();
+                if line == "mexit" && i + 1 == best.routines[r].src.lines().count() {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.routines[r].src = without_line(&best.routines[r].src, i);
+                if try_candidate(&mut best, cand, &mut spent) {
+                    progressed = true;
+                }
+            }
+        }
+
+        if !progressed || spent >= budget {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::RoutineSpec;
+
+    fn case_with(guest: &str) -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            routines: vec![RoutineSpec::new(
+                2,
+                "noise",
+                "addi t0, t0, 1\naddi t0, t0, 2\nmexit",
+            )],
+            delegations: vec![],
+            soft_tlb: false,
+            guest: guest.to_owned(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_line() {
+        // Pretend the divergence is "the guest contains `mul`".
+        let case =
+            case_with("li a0, 1\nli a1, 2\nadd a0, a0, a1\nmul a0, a0, a1\nxor a1, a1, a0\nebreak");
+        let small = shrink(&case, |c| c.guest.contains("mul"), 10_000);
+        assert!(small.guest.contains("mul"));
+        assert!(
+            small.guest.lines().count() <= 1,
+            "only the load-bearing line remains: {:?}",
+            small.guest
+        );
+        assert!(small.routines.is_empty(), "noise routine removed");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let case = case_with("li a0, 1\nli a1, 2\nebreak");
+        let mut calls = 0;
+        let out = shrink(
+            &case,
+            |_| {
+                calls += 1;
+                true
+            },
+            3,
+        );
+        assert!(calls <= 3);
+        // Still a valid (possibly partial) shrink of the original.
+        assert!(out.guest.lines().count() <= case.guest.lines().count());
+    }
+
+    #[test]
+    fn keeps_trailing_mexit() {
+        let case = case_with("ebreak");
+        let small = shrink(&case, |c| !c.routines.is_empty(), 10_000);
+        let src = &small.routines[0].src;
+        assert!(src.trim_end().ends_with("mexit"), "{src:?}");
+    }
+}

@@ -94,7 +94,9 @@ impl Bus {
     }
 
     /// Bumps the generation if the store at `[addr, addr + len)` touches
-    /// a marked line.
+    /// a marked line. The counter wraps: consumers compare for
+    /// *inequality* against their own snapshot, so wraparound is benign
+    /// (the astronomically unlikely exact-2^64-stores alias aside).
     #[inline]
     fn note_store(&mut self, addr: u32, len: u32) {
         let first = (addr / CODE_LINE_BYTES) as usize;
@@ -105,10 +107,45 @@ impl Bus {
                 .get(line / 64)
                 .is_some_and(|w| w & (1 << (line % 64)) != 0);
             if marked {
-                self.code_generation += 1;
+                self.code_generation = self.code_generation.wrapping_add(1);
                 return;
             }
         }
+    }
+
+    /// Forces the code generation counter to an arbitrary value. A test
+    /// and fuzzing hook (e.g. to exercise wraparound behaviour); never
+    /// needed in normal operation.
+    pub fn force_code_generation(&mut self, generation: u64) {
+        self.code_generation = generation;
+    }
+
+    /// Captures everything [`Bus::restore`] needs to rewind the bus:
+    /// RAM contents plus the code-residency bitmap and its generation.
+    /// Device windows are *not* captured — snapshot/restore serves
+    /// device-less differential runs (the fuzzer resets a machine
+    /// thousands of times per second); restoring a bus with devices
+    /// attached leaves the devices untouched.
+    #[must_use]
+    pub fn snapshot(&self) -> BusSnapshot {
+        BusSnapshot {
+            ram: self.ram.clone(),
+            code_lines: self.code_lines.clone(),
+            code_generation: self.code_generation,
+        }
+    }
+
+    /// Restores RAM and code-mark state from a snapshot without
+    /// reallocating (a pair of memcpys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a bus with a different RAM
+    /// size.
+    pub fn restore(&mut self, snap: &BusSnapshot) {
+        self.ram.copy_from(&snap.ram);
+        self.code_lines.copy_from_slice(&snap.code_lines);
+        self.code_generation = snap.code_generation;
     }
 
     /// Maps `device` at `[base, base + len)`.
@@ -260,6 +297,15 @@ impl Bus {
     }
 }
 
+/// A point-in-time copy of the bus's RAM and code-mark state (see
+/// [`Bus::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct BusSnapshot {
+    ram: PhysMemory,
+    code_lines: Vec<u64>,
+    code_generation: u64,
+}
+
 impl std::fmt::Debug for Bus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Bus(ram = {} bytes, devices = [", self.ram.size())?;
@@ -398,6 +444,47 @@ mod tests {
         b.mark_code(0x100);
         b.write_u32(MMIO_BASE, 5).unwrap();
         assert_eq!(b.code_generation(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_ram_and_marks() {
+        let mut b = Bus::new(4096);
+        b.write_u32(0x10, 0xAAAA).unwrap();
+        b.mark_code(0x40);
+        b.write_u32(0x40, 1).unwrap(); // bumps generation to 1
+        let snap = b.snapshot();
+        let generation = b.code_generation();
+        // Diverge: overwrite RAM, clear marks, bump generation again.
+        b.write_u32(0x10, 0xBBBB).unwrap();
+        b.mark_code(0x80);
+        b.write_u32(0x80, 2).unwrap();
+        assert_ne!(b.code_generation(), generation);
+        b.restore(&snap);
+        assert_eq!(b.read_u32(0x10), Ok(0xAAAA));
+        assert_eq!(b.code_generation(), generation);
+        // The restored mark set is the snapshot's: 0x40 is marked (store
+        // bumps), 0x80 is not (store is invisible).
+        b.write_u32(0x80, 3).unwrap();
+        assert_eq!(b.code_generation(), generation);
+        b.write_u32(0x40, 4).unwrap();
+        assert_eq!(b.code_generation(), generation + 1);
+    }
+
+    #[test]
+    fn generation_wraps_instead_of_overflowing() {
+        let mut b = Bus::new(4096);
+        b.force_code_generation(u64::MAX);
+        b.mark_code(0x0);
+        b.write_u32(0x0, 1).unwrap();
+        assert_eq!(b.code_generation(), 0, "wrapped, not panicked");
+    }
+
+    #[test]
+    #[should_panic(expected = "RAM size mismatch")]
+    fn restore_rejects_mismatched_geometry() {
+        let small = Bus::new(2048);
+        let mut big = Bus::new(4096);
+        big.restore(&small.snapshot());
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod sync;
 pub mod tlb;
 pub mod walker;
 
-pub use bus::{Bus, Device};
+pub use bus::{Bus, BusSnapshot, Device};
 pub use cache::{Cache, CacheConfig};
 pub use phys::PhysMemory;
 pub use tlb::{AccessKind, Pte, Tlb, TlbConfig, TlbFault};

@@ -97,6 +97,21 @@ impl PhysMemory {
         Ok(())
     }
 
+    /// Overwrites the full contents with those of `other` without
+    /// reallocating — the memcpy at the heart of snapshot restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two memories differ in size.
+    pub fn copy_from(&mut self, other: &PhysMemory) {
+        assert_eq!(
+            self.data.len(),
+            other.data.len(),
+            "RAM size mismatch on restore"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Reads a byte slice out of RAM.
     pub fn dump(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
         if !self.contains(addr, len) {

@@ -16,8 +16,24 @@
 use crate::func::Interp;
 use crate::hooks::Hooks;
 use crate::pipeline::Core;
-use crate::state::{CoreConfig, HaltReason, MachineState};
+use crate::state::{CoreConfig, HaltReason, MachineSnapshot, MachineState};
 use metal_trace::MetricsSnapshot;
+
+/// A point-in-time copy of an engine: the machine state, the extension
+/// hooks, and the program counter. Taken with [`Engine::snapshot`] and
+/// applied with [`Engine::restore`].
+///
+/// Restoring redirects execution via [`Engine::set_pc`], which clears
+/// any in-flight pipeline latches — so for the pipelined core a
+/// snapshot is only faithful when taken at a quiescent point (after
+/// reset, a halt, or `load_segments`, before `run`). The interpreter
+/// has no in-flight state and can snapshot anywhere.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot<H: Hooks + Clone> {
+    machine: MachineSnapshot,
+    hooks: H,
+    pc: u32,
+}
 
 /// A machine that can load and run guest programs: the pipelined core
 /// or the reference interpreter.
@@ -70,6 +86,33 @@ pub trait Engine: Sized {
     /// The unified metrics view of the machine state.
     fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.state().metrics_snapshot()
+    }
+
+    /// Captures machine state, hooks, and PC for a later
+    /// [`Engine::restore`]. See [`EngineSnapshot`] for the
+    /// quiescent-point caveat on the pipelined core.
+    fn snapshot(&self) -> EngineSnapshot<Self::Hooks>
+    where
+        Self::Hooks: Clone,
+    {
+        EngineSnapshot {
+            machine: self.state().snapshot(),
+            hooks: self.hooks().clone(),
+            pc: self.pc(),
+        }
+    }
+
+    /// Rewinds the engine to a snapshot: machine state is restored
+    /// in-place (no RAM reallocation), hooks are overwritten with the
+    /// captured copy, and execution is redirected to the captured PC
+    /// (clearing any in-flight work).
+    fn restore(&mut self, snap: &EngineSnapshot<Self::Hooks>)
+    where
+        Self::Hooks: Clone,
+    {
+        self.state_mut().restore(&snap.machine);
+        self.hooks_mut().clone_from(&snap.hooks);
+        self.set_pc(snap.pc);
     }
 }
 

@@ -28,13 +28,13 @@ pub mod state;
 pub mod tracing;
 pub mod trap;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use func::Interp;
 pub use hooks::{CustomExec, DecodeOutcome, Hooks, NoHooks, TrapDisposition, TrapEvent};
 pub use pipeline::Core;
 pub use state::{
-    CoreConfig, CsrFile, DecodeCache, HaltReason, MachineState, PerfCounters, RegFile,
-    TranslationMode,
+    CoreConfig, CsrFile, DecodeCache, HaltReason, MachineSnapshot, MachineState, PerfCounters,
+    RegFile, TranslationMode,
 };
 pub use tracing::TracingHooks;
 pub use trap::{Trap, TrapCause};

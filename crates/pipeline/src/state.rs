@@ -9,7 +9,7 @@ use metal_isa::reg::Reg;
 use metal_mem::bus::MMIO_BASE;
 use metal_mem::tlb::{AccessKind, TlbFault};
 use metal_mem::walker::{WalkResult, Walker};
-use metal_mem::{Bus, Cache, CacheConfig, MemError, Tlb, TlbConfig};
+use metal_mem::{Bus, BusSnapshot, Cache, CacheConfig, MemError, Tlb, TlbConfig};
 use metal_trace::{CacheKind, EventKind, MetricsSnapshot, TraceHandle};
 
 /// The 32 general-purpose registers with `x0` hard-wired to zero.
@@ -243,7 +243,7 @@ struct DecodeSlot {
 /// read and the decode, but the icache/TLB timing models and their
 /// trace events run identically on hits and misses, so enabling it
 /// perturbs no simulated observable.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DecodeCache {
     slots: Vec<DecodeSlot>,
     enabled: bool,
@@ -324,6 +324,41 @@ impl DecodeCache {
         }
         self.invalidations += 1;
     }
+
+    /// Allocation-free restore of all slots and counters from a snapshot
+    /// of another cache with the same geometry.
+    fn copy_from(&mut self, other: &DecodeCache) {
+        self.slots.copy_from_slice(&other.slots);
+        self.enabled = other.enabled;
+        self.generation = other.generation;
+        self.hits = other.hits;
+        self.misses = other.misses;
+        self.invalidations = other.invalidations;
+    }
+}
+
+/// A point-in-time copy of every architectural and micro-architectural
+/// field of a [`MachineState`], taken with [`MachineState::snapshot`] and
+/// applied with [`MachineState::restore`].
+///
+/// The trace handle is deliberately *not* captured: trace rings are
+/// shared observation channels, not machine state, and a restored
+/// machine keeps whatever handle it currently has (subsystem handles are
+/// reattached by `restore`). Device windows on the bus are likewise not
+/// captured — see [`Bus::snapshot`].
+#[derive(Clone, Debug)]
+pub struct MachineSnapshot {
+    regs: RegFile,
+    csr: CsrFile,
+    bus: BusSnapshot,
+    tlb: Tlb,
+    icache: Cache,
+    dcache: Cache,
+    translation: TranslationMode,
+    asid: u16,
+    perf: PerfCounters,
+    halted: Option<HaltReason>,
+    decode_cache: DecodeCache,
 }
 
 /// Everything the pipeline, the reference interpreter, and the extension
@@ -388,6 +423,52 @@ impl MachineState {
         self.tlb.trace = trace.clone();
         self.bus.trace = trace.clone();
         self.trace = trace;
+    }
+
+    /// Captures every architectural and micro-architectural field into a
+    /// [`MachineSnapshot`] for later [`MachineState::restore`].
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            regs: self.regs.clone(),
+            csr: self.csr.clone(),
+            bus: self.bus.snapshot(),
+            tlb: self.tlb.clone(),
+            icache: self.icache.clone(),
+            dcache: self.dcache.clone(),
+            translation: self.translation,
+            asid: self.asid,
+            perf: self.perf.clone(),
+            halted: self.halted.clone(),
+            decode_cache: self.decode_cache.clone(),
+        }
+    }
+
+    /// Rewinds the machine to a previously captured snapshot without
+    /// reallocating RAM or cache arrays — the hot reset path of the
+    /// fuzzer, which restores between every generated case.
+    ///
+    /// The machine keeps its *current* trace handle; subsystem handles
+    /// (TLB, bus) are reattached to it so events keep flowing to whatever
+    /// ring is installed now, not the one live at snapshot time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a machine with different
+    /// RAM geometry.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.regs = snap.regs.clone();
+        self.csr = snap.csr.clone();
+        self.bus.restore(&snap.bus);
+        self.tlb.clone_from(&snap.tlb);
+        self.tlb.trace = self.trace.clone();
+        self.icache.clone_from(&snap.icache);
+        self.dcache.clone_from(&snap.dcache);
+        self.translation = snap.translation;
+        self.asid = snap.asid;
+        self.perf = snap.perf.clone();
+        self.halted = snap.halted.clone();
+        self.decode_cache.copy_from(&snap.decode_cache);
     }
 
     /// The unified metrics view: performance counters, stall breakdown,
@@ -838,5 +919,91 @@ mod tests {
         assert!(m.load(0x300, LoadOp::Lw).is_err());
         m.phys_store(0x300, 77).unwrap();
         assert_eq!(m.phys_load(0x300).unwrap().0, 77);
+    }
+
+    #[test]
+    fn decode_cache_survives_generation_wraparound() {
+        let mut m = machine();
+        m.bus.ram.write_u32(0x100, 0x0000_0013).unwrap(); // nop
+        m.invalidate_decode_cache();
+        // Park the bus generation at the wrap boundary. The decode
+        // cache resynchronizes on the next fetch (inequality, not
+        // ordering, drives the protocol).
+        m.bus.force_code_generation(u64::MAX);
+        let (d1, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(d1.word, 0x0000_0013);
+        let (_, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(m.decode_cache.hits(), 1, "stable across the boundary");
+        // The store wraps the generation to 0; the stale entry must
+        // still be dropped even though the counter went "backwards".
+        m.store(0x100, StoreOp::Sw, 0x02A0_0513).unwrap(); // addi a0, x0, 42
+        assert_eq!(m.bus.code_generation(), 0, "generation wrapped");
+        let (d2, _) = m.fetch_decoded(0x100).unwrap();
+        assert_eq!(d2.word, 0x02A0_0513, "stale decode served after wrap");
+    }
+
+    #[test]
+    fn load_image_invalidates_line_straddling_install() {
+        let mut m = machine();
+        // Cache decodes on both sides of a 64-byte code-line boundary.
+        m.bus.ram.write_u32(0x13C, 0x0000_0013).unwrap(); // nop (line 0x100)
+        m.bus.ram.write_u32(0x140, 0x0000_0013).unwrap(); // nop (line 0x140)
+        m.invalidate_decode_cache();
+        let (_, _) = m.fetch_decoded(0x13C).unwrap();
+        let (_, _) = m.fetch_decoded(0x140).unwrap();
+        // Install a segment straddling that boundary host-side (the
+        // path an MRAM/program install takes — invisible to the bus
+        // generation protocol, so load_image must flush explicitly).
+        let addi_a0 = 0x02A0_0513u32.to_le_bytes(); // addi a0, x0, 42
+        let addi_a1 = 0x0150_0593u32.to_le_bytes(); // addi a1, x0, 21
+        let mut seg = Vec::new();
+        seg.extend_from_slice(&addi_a0);
+        seg.extend_from_slice(&addi_a1);
+        m.load_image([(0x13C, seg.as_slice())]);
+        let (d1, _) = m.fetch_decoded(0x13C).unwrap();
+        let (d2, _) = m.fetch_decoded(0x140).unwrap();
+        assert_eq!(d1.word, 0x02A0_0513, "pre-boundary word stale");
+        assert_eq!(d2.word, 0x0150_0593, "post-boundary word stale");
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_all_state() {
+        let mut m = machine();
+        m.translation = TranslationMode::SoftTlb;
+        m.asid = 3;
+        m.tlb.install(0x5000, Pte::new(0x1000, Pte::V | Pte::R), 3);
+        m.bus.ram.write_u32(0x1100, 99).unwrap();
+        m.bus.ram.write_u32(0x100, 0x0000_0013).unwrap();
+        m.invalidate_decode_cache();
+        m.regs.set(Reg::A0, 7);
+        m.csr.mscratch = 0xDEAD;
+        m.perf.cycles = 1234;
+        let snap = m.snapshot();
+
+        // Diverge everything the snapshot covers.
+        m.translation = TranslationMode::Bare;
+        let (_, _) = m.fetch_decoded(0x100).unwrap();
+        m.translation = TranslationMode::SoftTlb;
+        m.tlb.flush_all();
+        m.bus.ram.write_u32(0x1100, 0).unwrap();
+        m.store(0x100, StoreOp::Sw, 0xFFFF_FFFF).ok();
+        m.regs.set(Reg::A0, 0);
+        m.csr.mscratch = 0;
+        m.perf.cycles = 0;
+        m.asid = 9;
+        m.halted = Some(HaltReason::Ebreak { code: 1 });
+
+        m.restore(&snap);
+        assert_eq!(m.regs.get(Reg::A0), 7);
+        assert_eq!(m.csr.mscratch, 0xDEAD);
+        assert_eq!(m.perf.cycles, 1234);
+        assert_eq!(m.asid, 3);
+        assert_eq!(m.halted, None);
+        assert_eq!(m.translation, TranslationMode::SoftTlb);
+        // TLB entry and RAM contents came back.
+        assert_eq!(m.load(0x5100, LoadOp::Lw).unwrap().0, 99);
+        // Decode-cache counters rewound with the rest.
+        assert_eq!(m.decode_cache.hits(), snap.decode_cache.hits);
+        assert_eq!(m.decode_cache.misses(), snap.decode_cache.misses);
     }
 }

@@ -21,4 +21,14 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     scripts/bench_smoke.sh
 fi
 
+if [[ "${CHECK_FUZZ:-0}" == "1" ]]; then
+    echo "==> fuzz smoke (CHECK_FUZZ=1)"
+    # A short real campaign: any divergence fails the gate.
+    target/release/mfuzz --seconds 10 --jobs 2 --seed 1
+    # The committed corpus must keep replaying bit-identically.
+    for f in tests/corpus/*.s; do
+        target/release/mfuzz --replay "$f"
+    done
+fi
+
 echo "==> all checks passed"

@@ -1,0 +1,42 @@
+# mfuzz artifact v1
+# seed 0xa759ea27d4727622
+config softtlb 0
+routine 0 r0
+| rmr t0, m1
+| add a0, a0, t0
+| wmr m7, a0
+| rmr t0, m2
+| add a0, a0, t0
+| rmr t0, m6
+| add a0, a0, t0
+| rmr t0, m6
+| add a0, a0, t0
+| mexit
+routine 1 r1
+| mld t0, 4(zero)
+| add a0, a0, t0
+| wmr m6, a0
+| wmr m1, a0
+| wmr m5, a0
+| addi a0, a0, -35
+| slli a0, a0, 1
+| addi a0, a0, -5
+| mexit
+guest
+| li a0, 0
+| li s1, 3
+| loop:
+| slot:
+| addi a0, a0, 90
+| la t0, slot
+| li t1, 4193584403
+| sw t1, 0(t0)
+| addi s1, s1, -1
+| bnez s1, loop
+| ebreak
+expect halt ebreak 4294967192
+expect instret 26
+expect reg 5 0x00000008
+expect reg 6 0xf9f50513
+expect reg 10 0xffffff98
+expect mramsum 0xb93a0c83ce3b6325

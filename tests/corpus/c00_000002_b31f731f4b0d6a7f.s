@@ -1,0 +1,47 @@
+# mfuzz artifact v1
+# seed 0xb31f731f4b0d6a7f
+config softtlb 1
+delegate 12 3
+delegate 13 3
+delegate 15 3
+routine 0 r0
+| wmr m7, a0
+| mexit
+routine 1 r1
+| mst a0, 12(zero)
+| mexit
+routine 3 refill
+| rmr t0, mbadaddr
+| srli t0, t0, 12
+| slli t0, t0, 12
+| ori t1, t0, 15
+| mtlbw t0, t1
+| mexit
+guest
+| li a0, 218
+| li a1, -917
+| li s0, 12288
+| menter 0
+| addi a0, a0, -396
+| csrw mscratch, a0
+| addi a0, a0, -371
+| addi a0, a0, 397
+| csrw mscratch, a0
+| li t3, 5
+| fuzzloop:
+| addi a0, a0, 10
+| addi t3, t3, -1
+| bnez t3, fuzzloop
+| xor a0, a0, a1
+| csrw mscratch, a0
+| addi a0, a0, -136
+| ebreak
+expect halt ebreak 873
+expect instret 34
+expect reg 6 0x0000000f
+expect reg 8 0x00003000
+expect reg 10 0x00000369
+expect reg 11 0xfffffc6b
+expect mreg 7 0x000000da
+expect mreg 31 0x00000014
+expect mramsum 0xb93a0c83ce3b6325

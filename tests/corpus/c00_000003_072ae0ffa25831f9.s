@@ -1,0 +1,61 @@
+# mfuzz artifact v1
+# seed 0x072ae0ffa25831f9
+config softtlb 0
+routine 0 r0
+| mld t0, 48(zero)
+| add a0, a0, t0
+| mst a0, 8(zero)
+| rmr t0, m6
+| add a0, a0, t0
+| mexit
+routine 1 r1
+| rmr t0, m4
+| add a0, a0, t0
+| slli a0, a0, 1
+| wmr m1, a0
+| mexit
+routine 4 arm
+| li t0, 0x0F
+| li t1, 11
+| mintercept t0, t1
+| li t0, 1
+| wmr mstatus, t0
+| mexit
+routine 5 on_fence
+| mld t0, 32(zero)
+| addi t0, t0, 1
+| mst t0, 32(zero)
+| rmr t0, m31
+| addi t0, t0, 4
+| wmr m31, t0
+| mexit
+guest
+| li a0, -625
+| li a1, 734
+| li s0, 12288
+| menter 4
+| add a1, a1, a0
+| add a1, a1, a0
+| lbu t2, 0(s0)
+| xor a0, a0, t2
+| sb a0, 41(s0)
+| menter 1
+| menter 1
+| lbu t2, 39(s0)
+| xor a0, a0, t2
+| xor a0, a0, a1
+| fence
+| addi a0, a0, -348
+| fence
+| sw a0, 40(s0)
+| ebreak
+expect halt ebreak 2660
+expect instret 39
+expect reg 5 0x00000048
+expect reg 6 0x0000000b
+expect reg 8 0x00003000
+expect reg 10 0x00000a64
+expect reg 11 0xfffffdfc
+expect mreg 1 0xfffff63c
+expect mreg 31 0x00000048
+expect mramsum 0x6e4c05848a6fe227

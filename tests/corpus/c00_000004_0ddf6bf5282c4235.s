@@ -1,0 +1,55 @@
+# mfuzz artifact v1
+# seed 0x0ddf6bf5282c4235
+config softtlb 0
+routine 0 r0
+| mst a0, 28(zero)
+| xor a0, a0, a1
+| wmr m3, a0
+| mexit
+routine 1 r1
+| slli a0, a0, 1
+| rmr t0, m5
+| add a0, a0, t0
+| mst a0, 60(zero)
+| xor a0, a0, a1
+| addi a0, a0, 9
+| xor a0, a0, a1
+| mexit
+routine 6 sys
+| li t0, 12320
+| mpld t1, t0
+| add a0, a0, t1
+| li t0, 12304
+| mpld t1, t0
+| add a0, a0, t1
+| li t0, 12288
+| mtlbp t1, t0
+| add a0, a0, t1
+| li t0, 12300
+| mpst a0, t0
+| mexit
+guest
+| li a0, 527
+| li a1, 376
+| li s0, 12288
+| xor a0, a0, a1
+| lbu t2, 1(s0)
+| xor a0, a0, t2
+| addi a0, a0, 403
+| menter 6
+| addi a0, a0, 255
+| addi a0, a0, -304
+| menter 6
+| sb a0, 5(s0)
+| addi a0, a0, 428
+| lbu t2, 50(s0)
+| xor a0, a0, t2
+| ebreak
+expect halt fatal
+expect instret 22
+expect reg 5 0x0000300c
+expect reg 8 0x00003000
+expect reg 10 0x0000050a
+expect reg 11 0x00000178
+expect mreg 31 0x00000024
+expect mramsum 0xb93a0c83ce3b6325

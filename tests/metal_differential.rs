@@ -9,57 +9,14 @@ mod common;
 
 use common::{boot_metal_engine, both_engines_with, CORE_LIMIT};
 use metal_core::{Metal, MetalBuilder};
+// The generators live in the shared `metal-fuzz` grammar now; these
+// tests pin the grammar's fixed-seed behavior while `mfuzz` explores
+// fresh seeds from the same code.
+use metal_fuzz::grammar::{rand_guest, rand_routine, smc_guest};
 use metal_isa::reg::Reg;
 use metal_pipeline::state::CoreConfig;
 use metal_pipeline::{Core, HaltReason};
 use metal_util::Rng;
-
-/// A tiny verified mroutine: a few arithmetic ops over a0/a1 and the
-/// Metal registers, ending in mexit.
-fn rand_routine(rng: &mut Rng) -> String {
-    let steps = rng.range_usize(1, 8);
-    let mut src = String::new();
-    for _ in 0..steps {
-        let step = match rng.range_u32(0, 7) {
-            0 => format!("wmr m{}, a0", rng.range_u32(0, 8)),
-            1 => format!("rmr t0, m{}\n add a0, a0, t0", rng.range_u32(0, 8)),
-            2 => format!("addi a0, a0, {}", rng.range_i32(-64, 64)),
-            3 => "slli a0, a0, 1".to_owned(),
-            4 => "xor a0, a0, a1".to_owned(),
-            5 => format!("mst a0, {}(zero)", rng.range_u32(0, 16) * 4),
-            _ => format!(
-                "mld t0, {}(zero)\n add a0, a0, t0",
-                rng.range_u32(0, 16) * 4
-            ),
-        };
-        src.push_str(&step);
-        src.push('\n');
-    }
-    src.push_str("mexit");
-    src
-}
-
-/// A guest program: seeded registers, interleaved arithmetic and
-/// menter calls to the two routines, ebreak.
-fn rand_guest(rng: &mut Rng) -> String {
-    let a0 = rng.range_i32(-1000, 1000);
-    let a1 = rng.range_i32(-1000, 1000);
-    let steps = rng.range_usize(1, 20);
-    let mut body = String::new();
-    for _ in 0..steps {
-        // Weights: 3 addi, 2 menter 0, 2 menter 1, 1 add, 1 mul.
-        let step = match rng.range_u32(0, 9) {
-            0..=2 => format!("addi a0, a0, {}", rng.range_i32(-512, 512)),
-            3..=4 => "menter 0".to_owned(),
-            5..=6 => "menter 1".to_owned(),
-            7 => "add a1, a1, a0".to_owned(),
-            _ => "mul a0, a0, a1".to_owned(),
-        };
-        body.push_str(&step);
-        body.push('\n');
-    }
-    format!("li a0, {a0}\nli a1, {a1}\n{body}ebreak")
-}
 
 #[test]
 fn engines_agree_on_metal_programs() {
@@ -84,42 +41,6 @@ fn engines_agree_on_metal_programs() {
         }
         assert_eq!(pair.core.hooks.stats, pair.interp.hooks.stats);
     }
-}
-
-/// A self-modifying guest: a loop whose head instruction (`slot`) is
-/// overwritten mid-flight with a different `addi` immediate, so later
-/// passes execute the patched instruction. The store lands on a line
-/// that has already been fetched and decoded — exactly the case the
-/// decode cache's generation counter must catch.
-///
-/// Oracle: pass 1 executes `addi a0, a0, imm1`; the remaining
-/// `passes-1` iterations execute the patched `addi a0, a0, imm2`. An
-/// engine serving stale decoded state gets a different a0 even when
-/// both engines are equally stale, so this is checked against the
-/// closed form, not just cross-engine.
-fn smc_guest(rng: &mut Rng) -> (String, u32) {
-    let passes = rng.range_u32(2, 5) as i32;
-    let imm1 = rng.range_i32(-100, 100);
-    let imm2 = rng.range_i32(-100, 100);
-    let patched =
-        metal_asm::assemble_at(&format!("addi a0, a0, {imm2}"), 0).expect("patch assembles")[0];
-    let src = format!(
-        r"
-        li a0, 0
-        li s1, {passes}
-    loop:
-    slot:
-        addi a0, a0, {imm1}
-        la t0, slot
-        li t1, {patched}
-        sw t1, 0(t0)
-        addi s1, s1, -1
-        bnez s1, loop
-        ebreak
-        "
-    );
-    let expected = (imm1 as u32).wrapping_add((imm2 as u32).wrapping_mul((passes - 1) as u32));
-    (src, expected)
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Property tests for engine snapshot/restore: rewinding a machine and
+//! rerunning must be bit-identical — same architectural state, same
+//! metrics, same emitted trace events. This is the contract `mfuzz`
+//! leans on to reset cases in microseconds instead of rebuilding
+//! machines.
+
+mod common;
+
+use common::{assemble_flat, CORE_LIMIT, INTERP_LIMIT};
+use metal_core::{Metal, MetalBuilder};
+use metal_fuzz::grammar::{rand_guest, rand_routine};
+use metal_pipeline::state::CoreConfig;
+use metal_pipeline::{Core, Engine, HaltReason, Interp};
+use metal_trace::{Event, MetricsSnapshot, TraceConfig, TraceHandle};
+use metal_util::Rng;
+
+/// Everything a rerun must reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct RunRecord {
+    halt: Option<HaltReason>,
+    regs: [u32; 32],
+    metrics: MetricsSnapshot,
+    events: Vec<Event>,
+    mram_data: Vec<u8>,
+    mregs: Vec<u32>,
+}
+
+/// Runs from the current machine state to halt under a fresh trace
+/// (the snapshot deliberately does not capture the trace handle, so
+/// each observation installs its own).
+fn run_and_record<E: Engine<Hooks = Metal>>(engine: &mut E, limit: u64) -> RunRecord {
+    engine
+        .state_mut()
+        .set_trace(TraceHandle::enabled(TraceConfig {
+            capacity: 1 << 16,
+            ..TraceConfig::default()
+        }));
+    let halt = engine.run(limit);
+    RunRecord {
+        halt,
+        regs: engine.state().regs.snapshot(),
+        metrics: engine.metrics_snapshot(),
+        events: engine.state().trace.events(),
+        mram_data: engine.hooks().mram.data().to_vec(),
+        mregs: (0..32).map(|m| engine.hooks().mregs.get(m)).collect(),
+    }
+}
+
+/// Snapshot at the load point, run to halt, restore, run again: the
+/// two observations must match bit for bit, on either engine.
+fn roundtrip_from_load<E: Engine<Hooks = Metal>>(seed: u64, limit: u64) {
+    let mut rng = Rng::new(seed);
+    let r0 = rand_routine(&mut rng);
+    let r1 = rand_routine(&mut rng);
+    let guest = rand_guest(&mut rng);
+    let program = assemble_flat(&guest);
+    let mut engine = MetalBuilder::new()
+        .routine(0, "r0", &r0)
+        .routine(1, "r1", &r1)
+        .build_engine::<E>(CoreConfig::default())
+        .expect("machine builds");
+    engine.load_segments([(0u32, program.as_slice())], 0);
+    let snap = engine.snapshot();
+    let first = run_and_record(&mut engine, limit);
+    engine.restore(&snap);
+    let second = run_and_record(&mut engine, limit);
+    assert_eq!(
+        first, second,
+        "seed {seed}: restore+rerun not bit-identical\nguest:\n{guest}"
+    );
+}
+
+#[test]
+fn core_restore_rerun_is_bit_identical() {
+    for seed in 0..24u64 {
+        roundtrip_from_load::<Core<Metal>>(seed, CORE_LIMIT);
+    }
+}
+
+#[test]
+fn interp_restore_rerun_is_bit_identical() {
+    for seed in 0..24u64 {
+        roundtrip_from_load::<Interp<Metal>>(seed, INTERP_LIMIT);
+    }
+}
+
+#[test]
+fn interp_mid_run_snapshot_resumes_identically() {
+    // The interpreter executes serially, so a snapshot is legal at any
+    // instruction boundary: run k steps, snapshot, finish, restore,
+    // finish again — the two tails must agree.
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(0xABCD_0000 | seed);
+        let r0 = rand_routine(&mut rng);
+        let r1 = rand_routine(&mut rng);
+        let guest = rand_guest(&mut rng);
+        let program = assemble_flat(&guest);
+        let mut engine = MetalBuilder::new()
+            .routine(0, "r0", &r0)
+            .routine(1, "r1", &r1)
+            .build_engine::<Interp<Metal>>(CoreConfig::default())
+            .expect("machine builds");
+        engine.load_segments([(0u32, program.as_slice())], 0);
+        let k = rng.range_u32(1, 12) as u64;
+        if engine.run(k).is_some() {
+            // Short program already halted — nothing mid-run to probe.
+            continue;
+        }
+        let snap = engine.snapshot();
+        let first = run_and_record(&mut engine, INTERP_LIMIT);
+        engine.restore(&snap);
+        let second = run_and_record(&mut engine, INTERP_LIMIT);
+        assert_eq!(
+            first, second,
+            "seed {seed}: mid-run restore diverged\nguest:\n{guest}"
+        );
+    }
+}
+
+#[test]
+fn restore_discards_later_writes() {
+    // A snapshot taken before a run protects memory, CSRs, Metal
+    // registers, and MRAM data from everything the run did.
+    let program = assemble_flat(
+        "li a0, 21\nli t0, 0x1234\ncsrw mscratch, t0\nmenter 7\nsw a0, 64(zero)\nebreak",
+    );
+    let mut core = MetalBuilder::new()
+        .routine(
+            7,
+            "double",
+            "slli a0, a0, 1\nwmr m5, a0\nmst a0, 4(zero)\nmexit",
+        )
+        .build_engine::<Core<Metal>>(CoreConfig::default())
+        .expect("machine builds");
+    core.load_segments([(0u32, program.as_slice())], 0);
+    let snap = core.snapshot();
+    let halt = core.run(CORE_LIMIT);
+    assert_eq!(halt, Some(HaltReason::Ebreak { code: 42 }));
+    assert_eq!(core.hooks().mregs.get(5), 42);
+    core.restore(&snap);
+    assert_eq!(core.state().csr.mscratch, 0, "CSR write survived restore");
+    assert_eq!(core.hooks().mregs.get(5), 0, "mreg write survived restore");
+    assert_eq!(
+        core.hooks().mram.data()[4..8],
+        [0; 4],
+        "MRAM data write survived restore"
+    );
+    assert_eq!(
+        core.state_mut().bus.read_u32(64).expect("ram readable"),
+        0,
+        "RAM write survived restore"
+    );
+    assert_eq!(
+        core.state().perf.cycles,
+        0,
+        "perf counters survived restore"
+    );
+    // And the machine runs again to the same result.
+    assert_eq!(core.run(CORE_LIMIT), Some(HaltReason::Ebreak { code: 42 }));
+}
