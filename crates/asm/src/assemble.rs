@@ -45,6 +45,21 @@ impl Segment {
     }
 }
 
+/// Maps a run of assembled bytes back to the source statement that
+/// produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceSpan {
+    /// Start address of the emitted bytes.
+    pub addr: u32,
+    /// Number of bytes emitted (a pseudo-instruction may cover several
+    /// words).
+    pub len: u32,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the statement's first token.
+    pub col: u32,
+}
+
 /// The output of a successful assembly.
 #[derive(Clone, Debug, Default)]
 pub struct Assembled {
@@ -52,6 +67,8 @@ pub struct Assembled {
     pub segments: Vec<Segment>,
     /// All defined symbols (labels and `.equ`/`=` definitions).
     pub symbols: BTreeMap<String, i64>,
+    /// Address-sorted source spans for every emitting statement.
+    pub spans: Vec<SourceSpan>,
 }
 
 impl Assembled {
@@ -59,6 +76,18 @@ impl Assembled {
     #[must_use]
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).map(|&v| v as u32)
+    }
+
+    /// The source span covering `addr`, if any statement emitted it.
+    #[must_use]
+    pub fn span_at(&self, addr: u32) -> Option<SourceSpan> {
+        let idx = match self.spans.binary_search_by_key(&addr, |s| s.addr) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let span = self.spans[idx];
+        (addr >= span.addr && addr < span.addr + span.len).then_some(span)
     }
 
     /// Flattens the image into a zero-filled byte vector starting at
@@ -130,6 +159,7 @@ struct Assembler {
     section: Section,
     symbols: BTreeMap<String, i64>,
     chunks: Vec<(u32, Vec<u8>)>,
+    spans: Vec<SourceSpan>,
 }
 
 struct Env<'a> {
@@ -178,6 +208,7 @@ impl Assembler {
             section: Section::Text,
             symbols: BTreeMap::new(),
             chunks: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -190,7 +221,7 @@ impl Assembler {
 
     /// Pass 1: compute section layout and define all labels.
     fn pass1(&mut self, stmts: &[Located]) -> Result<(), AsmError> {
-        for Located { line, stmt } in stmts {
+        for Located { line, stmt, .. } in stmts {
             let line = *line;
             match stmt {
                 Stmt::Label(name) => {
@@ -244,9 +275,12 @@ impl Assembler {
             }
             segments.push(Segment { base, data });
         }
+        let mut spans = self.spans;
+        spans.sort_by_key(|s| s.addr);
         Ok(Assembled {
             segments,
             symbols: self.symbols,
+            spans,
         })
     }
 
@@ -254,6 +288,17 @@ impl Assembler {
         let at = *self.loc();
         self.chunks.push((at, bytes.to_vec()));
         *self.loc() += bytes.len() as u32;
+    }
+
+    fn record_span(&mut self, addr: u32, len: u32, line: usize, col: usize) {
+        if len > 0 {
+            self.spans.push(SourceSpan {
+                addr,
+                len,
+                line: line as u32,
+                col: col as u32,
+            });
+        }
     }
 
     /// Handles a directive. In pass 1 (`emit == None`) only layout effects
@@ -1002,13 +1047,25 @@ impl Assembler {
         self.loc_text = options.text_base;
         self.loc_data = options.data_base;
         self.section = Section::Text;
-        for Located { line, stmt } in stmts {
-            let line = *line;
+        for Located { line, col, stmt } in stmts {
+            let (line, col) = (*line, *col);
             match stmt {
                 Stmt::Label(_) | Stmt::Assign { .. } => {}
                 Stmt::Directive { name, args } => {
                     let args = args.clone();
+                    let section = self.section;
+                    let at = *self.loc();
                     self.directive(line, name, &args, Some(()))?;
+                    // `.org` moves the location counter without emitting;
+                    // only data-emitting directives get a span.
+                    let emits = matches!(
+                        name.as_str(),
+                        "word" | "half" | "byte" | "ascii" | "asciz" | "space" | "skip" | "align"
+                    );
+                    let end = *self.loc();
+                    if emits && self.section == section && end > at {
+                        self.record_span(at, end - at, line, col);
+                    }
                 }
                 Stmt::Insn { mnemonic, operands } => {
                     let pc = *self.loc();
@@ -1026,6 +1083,7 @@ impl Assembler {
                         bytes.extend_from_slice(&word.to_le_bytes());
                     }
                     self.emit(&bytes);
+                    self.record_span(pc, bytes.len() as u32, line, col);
                 }
             }
         }

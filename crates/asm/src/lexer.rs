@@ -21,11 +21,19 @@ pub enum Token {
 /// Tokenizes a single source line. Comments (`#`, `;`, `//`) terminate the
 /// line.
 pub fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> {
+    tokenize_line_cols(line, lineno).map(|(toks, _)| toks)
+}
+
+/// [`tokenize_line`] plus the 1-based starting column of each token, so
+/// diagnostics can point into the source line rather than just at it.
+pub fn tokenize_line_cols(line: &str, lineno: usize) -> Result<(Vec<Token>, Vec<usize>), AsmError> {
     let mut out = Vec::new();
+    let mut cols = Vec::new();
     let bytes: Vec<char> = line.chars().collect();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i];
+        let col = i + 1;
         match c {
             ' ' | '\t' | '\r' => i += 1,
             '#' | ';' => break,
@@ -33,11 +41,13 @@ pub fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> 
             '"' => {
                 let (s, next) = lex_string(&bytes, i + 1, lineno)?;
                 out.push(Token::Str(s));
+                cols.push(col);
                 i = next;
             }
             '\'' => {
                 let (s, next) = lex_char(&bytes, i + 1, lineno)?;
                 out.push(Token::Int(s));
+                cols.push(col);
                 i = next;
             }
             '%' => {
@@ -50,11 +60,13 @@ pub fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> 
                     return Err(AsmError::new(lineno, "dangling '%'"));
                 }
                 out.push(Token::Percent(bytes[start..j].iter().collect()));
+                cols.push(col);
                 i = j;
             }
             '0'..='9' => {
                 let (v, next) = lex_number(&bytes, i, lineno)?;
                 out.push(Token::Int(v));
+                cols.push(col);
                 i = next;
             }
             c if c.is_alphabetic() || c == '_' || c == '.' => {
@@ -65,11 +77,13 @@ pub fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> 
                     j += 1;
                 }
                 out.push(Token::Ident(bytes[i..j].iter().collect()));
+                cols.push(col);
                 i = j;
             }
             ',' | '(' | ')' | ':' | '+' | '-' | '*' | '/' | '&' | '|' | '^' | '~' | '<' | '>'
             | '=' => {
                 out.push(Token::Punct(c));
+                cols.push(col);
                 i += 1;
             }
             other => {
@@ -80,7 +94,7 @@ pub fn tokenize_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> 
             }
         }
     }
-    Ok(out)
+    Ok((out, cols))
 }
 
 fn lex_number(chars: &[char], start: usize, lineno: usize) -> Result<(i64, usize), AsmError> {

@@ -31,7 +31,7 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 
-pub use assemble::{assemble, assemble_at, Assembled, Options, Segment};
+pub use assemble::{assemble, assemble_at, Assembled, Options, Segment, SourceSpan};
 
 use core::fmt;
 

@@ -1,6 +1,6 @@
 //! Statement-level parsing: lines → labels, directives, instructions.
 
-use crate::lexer::{tokenize_line, Token};
+use crate::lexer::{tokenize_line_cols, Token};
 use crate::AsmError;
 
 /// One parsed statement, tagged with its source line.
@@ -31,11 +31,13 @@ pub enum Stmt {
     },
 }
 
-/// A statement with its 1-based source line.
+/// A statement with its 1-based source line and column.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Located {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the statement's first token.
+    pub col: usize,
     /// The statement.
     pub stmt: Stmt,
 }
@@ -73,7 +75,7 @@ pub fn parse(src: &str) -> Result<Vec<Located>, AsmError> {
     let mut out = Vec::new();
     for (idx, raw) in src.lines().enumerate() {
         let line = idx + 1;
-        let mut toks = tokenize_line(raw, line)?;
+        let (mut toks, mut cols) = tokenize_line_cols(raw, line)?;
         // Leading labels: `ident :` possibly several on one line.
         while toks.len() >= 2 {
             let is_label = matches!(&toks[0], Token::Ident(name) if !name.starts_with('.'))
@@ -84,20 +86,25 @@ pub fn parse(src: &str) -> Result<Vec<Located>, AsmError> {
             let Token::Ident(name) = toks.remove(0) else {
                 unreachable!("matched above");
             };
+            let col = cols.remove(0);
             toks.remove(0); // ':'
+            cols.remove(0);
             out.push(Located {
                 line,
+                col,
                 stmt: Stmt::Label(name),
             });
         }
         if toks.is_empty() {
             continue;
         }
+        let col = cols[0];
         // Assignment: `name = expr`.
         if toks.len() >= 3 && toks[1] == Token::Punct('=') {
             if let Token::Ident(name) = &toks[0] {
                 out.push(Located {
                     line,
+                    col,
                     stmt: Stmt::Assign {
                         name: name.clone(),
                         expr: toks[2..].to_vec(),
@@ -114,6 +121,7 @@ pub fn parse(src: &str) -> Result<Vec<Located>, AsmError> {
                 }
                 out.push(Located {
                     line,
+                    col,
                     stmt: Stmt::Directive {
                         name,
                         args: split_commas(&toks[1..]),
@@ -124,6 +132,7 @@ pub fn parse(src: &str) -> Result<Vec<Located>, AsmError> {
                 let mnemonic = head.to_lowercase();
                 out.push(Located {
                     line,
+                    col,
                     stmt: Stmt::Insn {
                         mnemonic,
                         operands: split_commas(&toks[1..]),

@@ -8,7 +8,7 @@
 //! dispatch the same image is placed in main memory instead.
 
 use crate::metal::{DispatchStyle, Metal, MetalConfig};
-use crate::verify::{has_errors, verify_routine, Issue, VerifyContext};
+use crate::verify::{has_errors, lint_routine, verify_routine, Issue, VerifyContext};
 use crate::MetalError;
 use metal_asm::assemble_at;
 use metal_pipeline::state::CoreConfig;
@@ -57,6 +57,7 @@ pub struct MetalBuilder {
     config: MetalConfig,
     routines: Vec<(u8, String, String)>,
     delegations: Vec<Delegation>,
+    lint_clean: bool,
     /// Warnings accumulated during the build (available afterwards).
     pub warnings: Vec<(String, Issue)>,
 }
@@ -69,8 +70,20 @@ impl MetalBuilder {
             config: MetalConfig::default(),
             routines: Vec::new(),
             delegations: Vec::new(),
+            lint_clean: false,
             warnings: Vec::new(),
         }
+    }
+
+    /// Requires every mroutine to pass the *full* static-analysis
+    /// battery (`metal-lint` dataflow checks: MRAM bounds, return-address
+    /// clobbers, secret leaks, instruction budget, intercept arms), not
+    /// just the historical privilege/structure set. Any denial aborts
+    /// the build.
+    #[must_use]
+    pub fn require_lint_clean(mut self) -> MetalBuilder {
+        self.lint_clean = true;
+        self
     }
 
     /// Overrides the Metal configuration.
@@ -169,8 +182,13 @@ impl MetalBuilder {
                 window_start,
                 window_end,
                 nested_allowed: self.config.layers > 1,
+                data_bytes: self.config.mram.data_bytes,
             };
-            let issues = verify_routine(&words, &ctx);
+            let issues = if self.lint_clean {
+                lint_routine(&words, &ctx)
+            } else {
+                verify_routine(&words, &ctx)
+            };
             if has_errors(&issues) {
                 return Err(MetalError::Verify {
                     routine: name.clone(),
@@ -307,6 +325,36 @@ mod tests {
         assert_eq!(image.len(), 1);
         assert_eq!(image[0].0, 0x10_0000);
         assert_eq!(metal.entry_pc(0), Some(0x10_0000));
+    }
+
+    #[test]
+    fn lint_clean_gate_rejects_oob_store() {
+        // The default verifier lets a statically-OOB mst through (it
+        // faults at runtime); the opt-in lint gate refuses the install.
+        let src = "li t0, 4096\n mst a0, 0(t0)\n mexit";
+        assert!(MetalBuilder::new().routine(0, "oob", src).build().is_ok());
+        let err = MetalBuilder::new()
+            .require_lint_clean()
+            .routine(0, "oob", src)
+            .build()
+            .unwrap_err();
+        match err {
+            MetalError::Verify { routine, issues } => {
+                assert_eq!(routine, "oob");
+                assert!(issues.iter().any(|i| i.message.contains("data segment")));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_clean_gate_accepts_clean_routine() {
+        let core = MetalBuilder::new()
+            .require_lint_clean()
+            .routine(0, "bump", "addi a0, a0, 1\n mexit")
+            .build_core(CoreConfig::default())
+            .unwrap();
+        assert!(core.hooks.mram.entry(0).is_some());
     }
 
     #[test]

@@ -3,20 +3,20 @@
 //! "Static allocation and non-interruptibility improve performance,
 //! security and reliability by eliminating potential resource exhaustion
 //! and simplifying mroutine verification." (paper §2.1) The loader
-//! verifies every mroutine before installing it:
+//! verifies every mroutine before installing it. The analysis itself
+//! lives in the `metal-lint` crate; this module adapts its diagnostics
+//! to the loader's [`Issue`] form and selects which checks gate an
+//! install:
 //!
-//! * no environment instructions (`ecall`, `mret`, `wfi`) — mroutines
-//!   *are* the environment;
-//! * direct control flow stays inside the mroutine code window
-//!   (`jal`/branches may target shared MRAM helpers but never leave the
-//!   window);
-//! * nested `menter` only when the layered configuration allows it;
-//! * warnings for `jalr` (targets cannot be checked statically) and for
-//!   missing `mexit` reachability.
+//! * [`verify_routine`] runs the historical install set — privilege
+//!   (environment instructions, illegal words, nested `menter`) and
+//!   structure (window escapes, `jalr`, `ebreak`, missing `mexit`) —
+//!   with message texts and ordering identical to the pre-lint verifier;
+//! * [`lint_routine`] runs the full dataflow battery (bounds, retaddr,
+//!   leak, budget, intercept) for builders that opt in via
+//!   `MetalBuilder::require_lint_clean`.
 
-use metal_isa::insn::Insn;
-use metal_isa::metal::MENTER_INDIRECT;
-use metal_isa::{decode, INSN_BYTES};
+use metal_lint::{lint_words, CheckSet, Level, LintConfig, UnitKind};
 
 /// Severity of a verification finding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,108 +49,52 @@ pub struct VerifyContext {
     pub window_end: u32,
     /// Whether nested `menter` from Metal mode is legal (layers > 1).
     pub nested_allowed: bool,
+    /// Size of the MRAM data segment, for the bounds check.
+    pub data_bytes: u32,
 }
 
-/// Verifies an assembled mroutine. Returns all findings; installation
-/// should be refused if any has [`Severity::Error`].
-#[must_use]
-pub fn verify_routine(words: &[u32], ctx: &VerifyContext) -> Vec<Issue> {
-    let mut issues = Vec::new();
-    let mut saw_exit_path = false;
-    for (i, &word) in words.iter().enumerate() {
-        let offset = i as u32 * INSN_BYTES;
-        let pc = ctx.base_pc + offset;
-        let insn = match decode(word) {
-            Ok(insn) => insn,
-            Err(_) => {
-                issues.push(Issue {
-                    severity: Severity::Error,
-                    offset,
-                    message: format!("illegal instruction word {word:#010x}"),
-                });
-                continue;
-            }
-        };
-        match insn {
-            Insn::Ecall | Insn::Mret | Insn::Wfi => {
-                issues.push(Issue {
-                    severity: Severity::Error,
-                    offset,
-                    message: format!(
-                        "environment instruction {:?} is not allowed in an mroutine",
-                        insn
-                    ),
-                });
-            }
-            Insn::Menter { entry, .. } => {
-                if !ctx.nested_allowed {
-                    issues.push(Issue {
-                        severity: Severity::Error,
-                        offset,
-                        message: "nested menter requires a layered (nested Metal) configuration"
-                            .to_owned(),
-                    });
-                } else if entry == MENTER_INDIRECT {
-                    issues.push(Issue {
-                        severity: Severity::Warning,
-                        offset,
-                        message: "indirect nested menter cannot be checked statically".to_owned(),
-                    });
-                }
-            }
-            Insn::Mexit => {
-                saw_exit_path = true;
-            }
-            Insn::Jal { offset: joff, .. } => {
-                let target = pc.wrapping_add(joff as u32);
-                if target < ctx.window_start || target >= ctx.window_end {
-                    issues.push(Issue {
-                        severity: Severity::Error,
-                        offset,
-                        message: format!(
-                            "jal target {target:#010x} leaves the mroutine code window"
-                        ),
-                    });
-                }
-            }
-            Insn::Branch { offset: boff, .. } => {
-                let target = pc.wrapping_add(boff as u32);
-                if target < ctx.window_start || target >= ctx.window_end {
-                    issues.push(Issue {
-                        severity: Severity::Error,
-                        offset,
-                        message: format!(
-                            "branch target {target:#010x} leaves the mroutine code window"
-                        ),
-                    });
-                }
-            }
-            Insn::Jalr { .. } => {
-                issues.push(Issue {
-                    severity: Severity::Warning,
-                    offset,
-                    message: "jalr target cannot be checked statically".to_owned(),
-                });
-                saw_exit_path = true; // may be a computed return
-            }
-            Insn::Ebreak => {
-                issues.push(Issue {
-                    severity: Severity::Warning,
-                    offset,
-                    message: "ebreak halts the machine; debug use only".to_owned(),
-                });
-            }
-            _ => {}
+impl VerifyContext {
+    fn lint_config(&self, checks: CheckSet) -> LintConfig {
+        LintConfig {
+            kind: UnitKind::Mroutine,
+            base: self.base_pc,
+            window: Some((self.window_start, self.window_end)),
+            data_bytes: self.data_bytes,
+            nested_allowed: self.nested_allowed,
+            budget: 4096,
+            checks,
         }
     }
-    if !saw_exit_path && !words.is_empty() {
-        issues.push(Issue {
-            severity: Severity::Warning,
-            offset: 0,
-            message: "no mexit (or computed jump) found: the mroutine never returns".to_owned(),
-        });
+
+    fn run(&self, words: &[u32], checks: CheckSet) -> Vec<Issue> {
+        lint_words(words, &self.lint_config(checks))
+            .into_iter()
+            .map(|d| Issue {
+                severity: match d.level {
+                    Level::Deny => Severity::Error,
+                    Level::Warn => Severity::Warning,
+                },
+                offset: d.pc.wrapping_sub(self.base_pc),
+                message: d.message,
+            })
+            .collect()
     }
-    issues
+}
+
+/// Verifies an assembled mroutine with the install-gating check set.
+/// Returns all findings; installation should be refused if any has
+/// [`Severity::Error`].
+#[must_use]
+pub fn verify_routine(words: &[u32], ctx: &VerifyContext) -> Vec<Issue> {
+    ctx.run(words, CheckSet::install())
+}
+
+/// Verifies an assembled mroutine with every lint check enabled,
+/// including the dataflow battery (bounds, retaddr, leak, budget,
+/// intercept) and dead-code warnings.
+#[must_use]
+pub fn lint_routine(words: &[u32], ctx: &VerifyContext) -> Vec<Issue> {
+    ctx.run(words, CheckSet::all())
 }
 
 /// True if any finding is an error.
@@ -170,6 +114,7 @@ mod tests {
             window_start: base & !0xFFFF,
             window_end: (base & !0xFFFF) + 0x4000,
             nested_allowed: false,
+            data_bytes: 4096,
         }
     }
 
@@ -230,5 +175,24 @@ mod tests {
     fn illegal_word_rejected() {
         let issues = verify_routine(&[0xFFFF_FFFF], &ctx(0xFFF0_0000));
         assert!(has_errors(&issues));
+    }
+
+    #[test]
+    fn full_lint_catches_oob_store() {
+        let base = 0xFFF0_0100;
+        let words = assemble_at("li t0, 4096\n mst a0, 0(t0)\n mexit", base).unwrap();
+        let issues = lint_routine(&words, &ctx(base));
+        assert!(has_errors(&issues), "{issues:?}");
+        // The install set deliberately lets it through (runtime faults
+        // instead): legacy behavior.
+        assert!(!has_errors(&verify_routine(&words, &ctx(base))));
+    }
+
+    #[test]
+    fn lint_geometry_matches_core() {
+        assert_eq!(metal_lint::MRAM_BASE, crate::mram::MRAM_BASE);
+        let mram = crate::mram::MramConfig::default();
+        assert_eq!(metal_lint::MRAM_CODE_BYTES, mram.code_bytes);
+        assert_eq!(metal_lint::MRAM_DATA_BYTES, mram.data_bytes);
     }
 }

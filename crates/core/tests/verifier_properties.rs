@@ -16,6 +16,7 @@ fn ctx(nested: bool) -> VerifyContext {
         window_start: MRAM_BASE,
         window_end: MRAM_BASE + WINDOW,
         nested_allowed: nested,
+        data_bytes: 4096,
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mfuzz [--seed N] [--jobs N] [--seconds N | --cases N] [--corpus DIR]
-//!       [--replay FILE]... [--inject-bug mul] [--no-shrink]
+//!       [--replay FILE]... [--inject-bug mul] [--no-shrink] [--lint]
 //! ```
 //!
 //! Generates Metal programs from a weighted grammar and runs each on
@@ -20,13 +20,20 @@
 //! `--inject-bug mul` plants a known bug (low result bit of `mul`
 //! flipped on the cores only) to validate the whole find→shrink→replay
 //! loop end to end.
+//!
+//! `--lint` additionally runs the `metal-lint` static analyzer over
+//! every case and reports *soundness* disagreements — a unit that
+//! lints clean for privilege or MRAM bounds but faults at runtime —
+//! as first-class findings, shrunk and serialized like divergences
+//! (`lint_*.s`). With `--replay`, artifacts are re-checked for lint
+//! disagreements too.
 
 use metal_fuzz::{artifact, exec::BugKind, run_campaign, CampaignConfig};
 use metal_util::cli::{parse_num, usage};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "mfuzz [--seed N] [--jobs N] [--seconds N | --cases N] [--corpus DIR] [--replay FILE]... [--inject-bug mul] [--no-shrink]";
+const USAGE: &str = "mfuzz [--seed N] [--jobs N] [--seconds N | --cases N] [--corpus DIR] [--replay FILE]... [--inject-bug mul] [--no-shrink] [--lint]";
 
 fn main() -> ExitCode {
     let mut config = CampaignConfig::default();
@@ -63,13 +70,14 @@ fn main() -> ExitCode {
                 None => return usage("mfuzz", USAGE, "bad --inject-bug (try: mul)"),
             },
             "--no-shrink" => config.shrink = false,
+            "--lint" => config.lint = true,
             "-h" | "--help" => return usage("mfuzz", USAGE, ""),
             other => return usage("mfuzz", USAGE, &format!("unknown argument {other:?}")),
         }
     }
 
     if !replays.is_empty() {
-        return replay_all(&replays, config.bug);
+        return replay_all(&replays, config.bug, config.lint);
     }
 
     if config.seconds.is_none() && config.cases.is_none() {
@@ -103,7 +111,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn replay_all(paths: &[String], bug: BugKind) -> ExitCode {
+fn replay_all(paths: &[String], bug: BugKind, lint: bool) -> ExitCode {
     let mut failed = false;
     for path in paths {
         let content = match std::fs::read_to_string(path) {
@@ -121,10 +129,32 @@ fn replay_all(paths: &[String], bug: BugKind) -> ExitCode {
                 failed = true;
             }
         }
+        if lint {
+            match lint_replay(&content, bug) {
+                Ok(None) => println!("lint {path}: sound"),
+                Ok(Some(what)) => {
+                    println!("lint {path}: FAILED: {what}");
+                    failed = true;
+                }
+                Err(e) => {
+                    println!("lint {path}: FAILED: {e}");
+                    failed = true;
+                }
+            }
+        }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Re-runs an artifact's case and checks it for lint-vs-simulator
+/// soundness disagreements.
+fn lint_replay(content: &str, bug: BugKind) -> Result<Option<String>, String> {
+    let (case, _expect) = artifact::parse(content)?;
+    let mut runner = metal_fuzz::CaseRunner::new(bug);
+    let result = runner.run(&case).map_err(|e| e.0)?;
+    metal_fuzz::lint::check_case(&case, &result.core.events, &result.interp.events)
 }

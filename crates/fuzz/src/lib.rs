@@ -31,6 +31,7 @@ pub mod artifact;
 pub mod coverage;
 pub mod exec;
 pub mod grammar;
+pub mod lint;
 pub mod shrink;
 
 pub use coverage::CoverageMap;
@@ -58,6 +59,9 @@ pub struct CampaignConfig {
     pub bug: BugKind,
     /// Minimize divergences before reporting them.
     pub shrink: bool,
+    /// Also lint every case and report lint-verdict vs simulator-fault
+    /// disagreements (static-analysis soundness findings).
+    pub lint: bool,
 }
 
 impl Default for CampaignConfig {
@@ -70,6 +74,7 @@ impl Default for CampaignConfig {
             corpus_dir: None,
             bug: BugKind::None,
             shrink: true,
+            lint: false,
         }
     }
 }
@@ -184,6 +189,29 @@ fn run_shard(
             out.divergences.push(div);
             continue;
         }
+        if config.lint {
+            let finding = lint::check_case(&case, &result.core.events, &result.interp.events)
+                .ok()
+                .flatten();
+            if let Some(what) = finding {
+                let div = minimize_with(
+                    &mut runner,
+                    &case,
+                    &what,
+                    config,
+                    shard,
+                    &mut out,
+                    "lint",
+                    &|case, r| {
+                        lint::check_case(case, &r.core.events, &r.interp.events)
+                            .ok()
+                            .flatten()
+                    },
+                );
+                out.divergences.push(div);
+                continue;
+            }
+        }
         let novel = out.coverage.observe_run(
             &result.core.events,
             result.core.tags,
@@ -203,8 +231,8 @@ fn run_shard(
     out
 }
 
-/// Shrinks one divergence (up to the per-shard cap) and writes its
-/// artifact.
+/// Shrinks one engine divergence (up to the per-shard cap) and writes
+/// its artifact.
 fn minimize(
     runner: &mut CaseRunner,
     case: &FuzzCase,
@@ -213,13 +241,33 @@ fn minimize(
     shard: usize,
     out: &mut ShardOutcome,
 ) -> Divergence {
+    minimize_with(runner, case, what, config, shard, out, "div", &|_, r| {
+        r.divergence.clone()
+    })
+}
+
+/// Shrinks one finding under an arbitrary oracle and writes its
+/// artifact as `{tag}_{shard}_{seed}.s`. The oracle maps a re-run case
+/// to `Some(description)` while the finding persists; shrinking keeps
+/// any candidate for which it still fires.
+#[allow(clippy::too_many_arguments)]
+fn minimize_with(
+    runner: &mut CaseRunner,
+    case: &FuzzCase,
+    what: &str,
+    config: &CampaignConfig,
+    shard: usize,
+    out: &mut ShardOutcome,
+    tag: &str,
+    oracle: &dyn Fn(&FuzzCase, &exec::CaseResult) -> Option<String>,
+) -> Divergence {
     let shrunk = if config.shrink && out.divergences.len() < SHRINK_CAP {
         shrink::shrink(
             case,
             |cand| {
                 runner
                     .run(cand)
-                    .map(|r| !r.hang && r.divergence.is_some())
+                    .map(|r| !r.hang && oracle(cand, &r).is_some())
                     .unwrap_or(false)
             },
             SHRINK_BUDGET,
@@ -230,15 +278,15 @@ fn minimize(
     // Re-run the final case: the artifact records the *reference*
     // expectations, so replay keeps failing while the bug lives.
     let (what, reference) = match runner.run(&shrunk) {
-        Ok(r) => (
-            r.divergence.unwrap_or_else(|| what.to_owned()),
-            Some(r.interp),
-        ),
+        Ok(r) => {
+            let what = oracle(&shrunk, &r).unwrap_or_else(|| what.to_owned());
+            (what, Some(r.interp))
+        }
         Err(_) => (what.to_owned(), None),
     };
     let artifact = match (&config.corpus_dir, &reference) {
         (Some(dir), Some(reference)) => {
-            let path = dir.join(format!("div_{shard:02}_{:016x}.s", case.seed));
+            let path = dir.join(format!("{tag}_{shard:02}_{:016x}.s", case.seed));
             let text = artifact::serialize(&shrunk, reference);
             std::fs::write(&path, text).ok().map(|()| path)
         }
@@ -338,5 +386,20 @@ mod tests {
         assert_eq!(a.divergences.len(), b.divergences.len());
         assert!(a.cases + a.rejects == 40);
         assert_eq!(a.divergences.len(), 0, "clean engines must not diverge");
+    }
+
+    /// With `--lint` on and unmodified engines, a campaign reports no
+    /// soundness findings: the analyzer never claims clean about a
+    /// program that faults.
+    #[test]
+    fn lint_campaign_reports_no_findings() {
+        let config = CampaignConfig {
+            seed: 11,
+            cases: Some(20),
+            lint: true,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&config);
+        assert_eq!(report.divergences.len(), 0, "{:?}", report.divergences);
     }
 }

@@ -1,0 +1,345 @@
+//! Control-flow graph construction over pre-decoded instructions.
+//!
+//! The CFG is built once per unit (a guest program or one mroutine) and
+//! shared by every dataflow analysis. Blocks are maximal straight-line
+//! runs; an instruction index is the unit of addressing (`pc = base +
+//! 4 * idx`). Control transfers whose target lies outside the unit are
+//! not edges — they are recorded as *escapes* so the structural checks
+//! can report them.
+
+use metal_isa::insn::Insn;
+use metal_isa::{decode_to, DecodedInsn};
+
+/// One basic block: instruction indices `start..end` (half-open).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// A control transfer that leaves the unit.
+#[derive(Clone, Copy, Debug)]
+pub struct Escape {
+    /// Index of the transferring instruction.
+    pub idx: usize,
+    /// Target address.
+    pub target: u32,
+}
+
+/// The control-flow graph of one unit.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Base address of instruction 0.
+    pub base: u32,
+    /// Pre-decoded instructions, one per word.
+    pub insns: Vec<DecodedInsn>,
+    /// Basic blocks in address order (block 0 contains instruction 0).
+    pub blocks: Vec<Block>,
+    /// Block id containing each instruction.
+    pub block_of: Vec<usize>,
+    /// Per-instruction reachability from the unit entry.
+    pub reachable: Vec<bool>,
+    /// Direct jumps/branches whose target lies outside the unit.
+    pub escapes: Vec<Escape>,
+    /// Index of the last instruction when a reachable path can fall off
+    /// the end of the unit.
+    pub falls_off_end: Option<usize>,
+}
+
+/// How control leaves an instruction, for edge construction.
+enum Exit {
+    /// Continue to the next instruction.
+    Fall,
+    /// Unconditional direct jump.
+    Jump(u32),
+    /// Conditional: direct target or fallthrough.
+    Branch(u32),
+    /// A call that is assumed to return (direct target + fallthrough).
+    Call(u32),
+    /// Control leaves the unit (mexit, ret/jr, mret, ebreak, illegal).
+    Stop,
+}
+
+fn exit_of(insn: &DecodedInsn, pc: u32) -> Exit {
+    if insn.is_illegal() {
+        return Exit::Stop;
+    }
+    match insn.insn {
+        Insn::Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u32);
+            if rd == metal_isa::Reg::ZERO {
+                Exit::Jump(target)
+            } else {
+                // A call: over-approximate by assuming the callee returns.
+                Exit::Call(target)
+            }
+        }
+        Insn::Branch { offset, .. } => Exit::Branch(pc.wrapping_add(offset as u32)),
+        // `jalr rd != x0` is a computed call: assume it returns. `jr`/`ret`
+        // leave the unit.
+        Insn::Jalr { rd, .. } => {
+            if rd == metal_isa::Reg::ZERO {
+                Exit::Stop
+            } else {
+                Exit::Fall
+            }
+        }
+        Insn::Mexit | Insn::Mret | Insn::Ebreak => Exit::Stop,
+        // `ecall`/`menter` transfer control but ordinarily resume after
+        // the instruction (handler `mret`/`mexit` with a +4 epilogue).
+        _ => Exit::Fall,
+    }
+}
+
+impl Cfg {
+    /// Address of instruction `idx`.
+    #[must_use]
+    pub fn pc_of(&self, idx: usize) -> u32 {
+        self.base + 4 * idx as u32
+    }
+
+    /// Instruction index of an in-unit, word-aligned address.
+    #[must_use]
+    pub fn idx_of(&self, addr: u32) -> Option<usize> {
+        let end = self.base + 4 * self.insns.len() as u32;
+        if addr < self.base || addr >= end || !(addr - self.base).is_multiple_of(4) {
+            return None;
+        }
+        Some(((addr - self.base) / 4) as usize)
+    }
+
+    /// Builds the CFG of `words` loaded at `base`.
+    #[must_use]
+    pub fn build(base: u32, words: &[u32]) -> Cfg {
+        let insns: Vec<DecodedInsn> = words.iter().map(|&w| decode_to(w)).collect();
+        let n = insns.len();
+        let mut cfg = Cfg {
+            base,
+            insns,
+            blocks: Vec::new(),
+            block_of: vec![0; n],
+            reachable: vec![false; n],
+            escapes: Vec::new(),
+            falls_off_end: None,
+        };
+        if n == 0 {
+            return cfg;
+        }
+        // Leaders: entry, targets of in-unit transfers, instruction after
+        // any control transfer.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for idx in 0..n {
+            let pc = cfg.pc_of(idx);
+            match exit_of(&cfg.insns[idx], pc) {
+                Exit::Fall => {}
+                Exit::Jump(t) | Exit::Branch(t) | Exit::Call(t) => {
+                    if let Some(ti) = cfg.idx_of(t) {
+                        leader[ti] = true;
+                    } else {
+                        cfg.escapes.push(Escape { idx, target: t });
+                    }
+                    if idx + 1 < n {
+                        leader[idx + 1] = true;
+                    }
+                }
+                Exit::Stop => {
+                    if idx + 1 < n {
+                        leader[idx + 1] = true;
+                    }
+                }
+            }
+            // Every control-flow instruction ends a block even when it
+            // falls through (ecall, menter, jalr-call).
+            if cfg.insns[idx].insn.is_control_flow() && idx + 1 < n {
+                leader[idx + 1] = true;
+            }
+        }
+        // Carve blocks.
+        let mut start = 0;
+        #[allow(clippy::needless_range_loop)] // `n` is a sentinel past the slice
+        for idx in 1..=n {
+            if idx == n || leader[idx] {
+                let id = cfg.blocks.len();
+                for i in start..idx {
+                    cfg.block_of[i] = id;
+                }
+                cfg.blocks.push(Block {
+                    start,
+                    end: idx,
+                    succs: Vec::new(),
+                });
+                start = idx;
+            }
+        }
+        // Edges from each block's terminator.
+        for id in 0..cfg.blocks.len() {
+            let last = cfg.blocks[id].end - 1;
+            let pc = cfg.pc_of(last);
+            let mut succs = Vec::new();
+            let mut falls = false;
+            match exit_of(&cfg.insns[last], pc) {
+                Exit::Fall => falls = true,
+                Exit::Jump(t) => {
+                    if let Some(ti) = cfg.idx_of(t) {
+                        succs.push(cfg.block_of[ti]);
+                    }
+                }
+                Exit::Branch(t) | Exit::Call(t) => {
+                    if let Some(ti) = cfg.idx_of(t) {
+                        succs.push(cfg.block_of[ti]);
+                    }
+                    falls = true;
+                }
+                Exit::Stop => {}
+            }
+            if falls {
+                if last + 1 < n {
+                    succs.push(cfg.block_of[last + 1]);
+                } else {
+                    cfg.falls_off_end = Some(last);
+                }
+            }
+            succs.dedup();
+            cfg.blocks[id].succs = succs;
+        }
+        // Reachability from the entry block.
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(id) = stack.pop() {
+            for i in cfg.blocks[id].start..cfg.blocks[id].end {
+                cfg.reachable[i] = true;
+            }
+            for &s in &cfg.blocks[id].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        if let Some(last) = cfg.falls_off_end {
+            if !cfg.reachable[last] {
+                cfg.falls_off_end = None;
+            }
+        }
+        cfg
+    }
+
+    /// Back edges `(from_block, to_block)` under a DFS from the entry:
+    /// the seeds of natural loops.
+    #[must_use]
+    pub fn back_edges(&self) -> Vec<(usize, usize)> {
+        let n = self.blocks.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut out = Vec::new();
+        // Iterative DFS with an explicit edge stack.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&(id, next)) = stack.last() {
+            if next < self.blocks[id].succs.len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let s = self.blocks[id].succs[next];
+                match state[s] {
+                    0 => {
+                        state[s] = 1;
+                        stack.push((s, 0));
+                    }
+                    1 => out.push((id, s)),
+                    _ => {}
+                }
+            } else {
+                state[id] = 2;
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// The natural loop of back edge `(tail, head)`: all blocks that can
+    /// reach `tail` without passing through `head`, plus `head`.
+    #[must_use]
+    pub fn natural_loop(&self, tail: usize, head: usize) -> Vec<usize> {
+        let n = self.blocks.len();
+        // Predecessor lists.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, b) in self.blocks.iter().enumerate() {
+            for &s in &b.succs {
+                preds[s].push(id);
+            }
+        }
+        let mut in_loop = vec![false; n];
+        in_loop[head] = true;
+        let mut stack = vec![tail];
+        while let Some(id) = stack.pop() {
+            if in_loop[id] {
+                continue;
+            }
+            in_loop[id] = true;
+            for &p in &preds[id] {
+                stack.push(p);
+            }
+        }
+        (0..n).filter(|&i| in_loop[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_asm::assemble_at;
+
+    fn cfg(src: &str, base: u32) -> Cfg {
+        Cfg::build(base, &assemble_at(src, base).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg("addi a0, a0, 1\naddi a0, a0, 2\nmexit", 0);
+        assert_eq!(c.blocks.len(), 1);
+        assert!(c.reachable.iter().all(|&r| r));
+        assert!(c.falls_off_end.is_none());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let c = cfg("beqz a0, skip\naddi a0, a0, 1\nskip: mexit", 0);
+        assert_eq!(c.blocks.len(), 3);
+        assert_eq!(c.blocks[0].succs.len(), 2);
+        assert!(c.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn code_after_jump_is_unreachable() {
+        let c = cfg("j end\naddi a0, a0, 1\nend: mexit", 0);
+        assert!(!c.reachable[1]);
+        assert!(c.reachable[2]);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let c = cfg("li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nmexit", 0);
+        let backs = c.back_edges();
+        assert_eq!(backs.len(), 1);
+        let (tail, head) = backs[0];
+        let body = c.natural_loop(tail, head);
+        assert!(body.contains(&head));
+    }
+
+    #[test]
+    fn escaping_jump_recorded() {
+        let c = cfg("j 0x4000\nmexit", 0);
+        assert_eq!(c.escapes.len(), 1);
+        assert_eq!(c.escapes[0].target, 0x4000);
+    }
+
+    #[test]
+    fn fallthrough_off_end_detected() {
+        let c = cfg("addi a0, a0, 1\naddi a0, a0, 2", 0);
+        assert_eq!(c.falls_off_end, Some(1));
+    }
+}

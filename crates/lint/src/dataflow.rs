@@ -1,0 +1,140 @@
+//! Worklist fixpoint solver, generic over a join-semilattice.
+//!
+//! Each analysis supplies a [`Lattice`]: an abstract state joined at
+//! control-flow merges and transformed per instruction. The solver
+//! iterates to a fixpoint over the block graph; lattices of unbounded
+//! height (intervals) are widened after a block has been re-joined a
+//! few times, which guarantees termination.
+
+use crate::cfg::Cfg;
+use metal_isa::DecodedInsn;
+
+/// Joins per block tolerated before the solver joins with widening.
+const WIDEN_AFTER: usize = 8;
+
+/// A join-semilattice with a per-instruction transfer function.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`. Returns true if `self` changed. When
+    /// `widen` is set the implementation must accelerate: any component
+    /// that would grow goes straight to its top value.
+    fn join_from(&mut self, other: &Self, widen: bool) -> bool;
+
+    /// Applies one instruction (at index `idx`, address `pc`) to the
+    /// state.
+    fn transfer(&mut self, idx: usize, insn: &DecodedInsn, pc: u32);
+}
+
+/// Fixpoint result: the state at entry of each reachable block.
+pub struct Solution<L> {
+    /// `None` for unreachable blocks.
+    pub block_in: Vec<Option<L>>,
+}
+
+impl<L: Lattice> Solution<L> {
+    /// Replays the block's transfers, yielding the state *before* each
+    /// instruction of block `id`. Empty for unreachable blocks.
+    #[must_use]
+    pub fn states_in_block(&self, cfg: &Cfg, id: usize) -> Vec<L> {
+        let Some(entry) = &self.block_in[id] else {
+            return Vec::new();
+        };
+        let block = &cfg.blocks[id];
+        let mut out = Vec::with_capacity(block.end - block.start);
+        let mut state = entry.clone();
+        for idx in block.start..block.end {
+            out.push(state.clone());
+            state.transfer(idx, &cfg.insns[idx], cfg.pc_of(idx));
+        }
+        out
+    }
+}
+
+/// Runs the worklist algorithm from `entry` at block 0.
+pub fn solve<L: Lattice>(cfg: &Cfg, entry: L) -> Solution<L> {
+    let n = cfg.blocks.len();
+    let mut block_in: Vec<Option<L>> = vec![None; n];
+    if n == 0 {
+        return Solution { block_in };
+    }
+    block_in[0] = Some(entry);
+    let mut joins = vec![0usize; n];
+    let mut work = vec![0usize];
+    let mut queued = vec![false; n];
+    queued[0] = true;
+    while let Some(id) = work.pop() {
+        queued[id] = false;
+        let Some(mut state) = block_in[id].clone() else {
+            continue;
+        };
+        let block = &cfg.blocks[id];
+        for idx in block.start..block.end {
+            state.transfer(idx, &cfg.insns[idx], cfg.pc_of(idx));
+        }
+        for &succ in &block.succs {
+            let changed = match &mut block_in[succ] {
+                Some(existing) => {
+                    joins[succ] += 1;
+                    existing.join_from(&state, joins[succ] > WIDEN_AFTER)
+                }
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                work.push(succ);
+            }
+        }
+    }
+    Solution { block_in }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_asm::assemble_at;
+
+    /// A toy lattice: counts an upper bound of executed instructions,
+    /// saturating — exercises widening on loops.
+    #[derive(Clone, PartialEq)]
+    struct Count(u64);
+
+    impl Lattice for Count {
+        fn join_from(&mut self, other: &Self, widen: bool) -> bool {
+            let next = self.0.max(other.0);
+            let next = if widen && next > self.0 {
+                u64::MAX
+            } else {
+                next
+            };
+            let changed = next != self.0;
+            self.0 = next;
+            changed
+        }
+        fn transfer(&mut self, _idx: usize, _insn: &DecodedInsn, _pc: u32) {
+            self.0 = self.0.saturating_add(1);
+        }
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_via_widening() {
+        let words =
+            assemble_at("li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nmexit", 0).unwrap();
+        let cfg = Cfg::build(0, &words);
+        let sol = solve(&cfg, Count(0));
+        // Terminates, and every reachable block has a state.
+        for (id, b) in sol.block_in.iter().enumerate() {
+            assert!(b.is_some(), "block {id} unreachable?");
+        }
+    }
+
+    #[test]
+    fn unreachable_block_has_no_state() {
+        let words = assemble_at("j end\naddi a0, a0, 1\nend: mexit", 0).unwrap();
+        let cfg = Cfg::build(0, &words);
+        let sol = solve(&cfg, Count(0));
+        let dead = cfg.block_of[1];
+        assert!(sol.block_in[dead].is_none());
+    }
+}

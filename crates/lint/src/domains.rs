@@ -1,0 +1,418 @@
+//! Abstract domains: unsigned intervals, taint bits, reaching defs.
+//!
+//! All three are per-GPR environments solved over the same CFG by the
+//! generic worklist in [`crate::dataflow`]. The interval domain is the
+//! only one with unbounded height; its join widens to top on demand.
+
+use crate::dataflow::Lattice;
+use metal_isa::insn::{AluOp, Insn};
+use metal_isa::reg::MregIdx;
+use metal_isa::{DecodedInsn, Reg};
+
+/// An unsigned 32-bit value range `[lo, hi]`, kept in `u64` so bounds
+/// arithmetic cannot overflow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+const WORD: u64 = 1 << 32;
+
+impl Interval {
+    /// The full range (no information).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: WORD - 1,
+    };
+
+    /// A single known value.
+    #[must_use]
+    pub const fn exact(v: u32) -> Interval {
+        Interval {
+            lo: v as u64,
+            hi: v as u64,
+        }
+    }
+
+    /// The value if the range is a singleton.
+    #[must_use]
+    pub fn as_const(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo as u32)
+    }
+
+    /// True if no information is known.
+    #[must_use]
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Convex hull of two ranges.
+    #[must_use]
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Wrapping 32-bit addition of two ranges. Precise when neither or
+    /// both ends wrap; top otherwise.
+    #[must_use]
+    pub fn wadd(self, other: Interval) -> Interval {
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        if hi < WORD {
+            Interval { lo, hi }
+        } else if lo >= WORD {
+            Interval {
+                lo: lo - WORD,
+                hi: hi - WORD,
+            }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// Wrapping addition of a signed constant.
+    #[must_use]
+    pub fn add_const(self, k: i32) -> Interval {
+        self.wadd(Interval::exact(k as u32))
+    }
+}
+
+/// Evaluates an ALU op over intervals; precise for singletons.
+fn alu_interval(op: AluOp, a: Interval, b: Interval) -> Interval {
+    if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+        return Interval::exact(op.eval(x, y));
+    }
+    match op {
+        AluOp::Add => a.wadd(b),
+        AluOp::Sub => match b.as_const() {
+            Some(y) => a.add_const((y as i32).wrapping_neg()),
+            None => Interval::TOP,
+        },
+        AluOp::And => {
+            // `a & b <= min(a, b)` pointwise, so the hi bound carries.
+            Interval {
+                lo: 0,
+                hi: a.hi.min(b.hi),
+            }
+        }
+        AluOp::Or | AluOp::Xor => {
+            // Both operands below 2^k keep the result below 2^k.
+            let m = a.hi.max(b.hi);
+            let hi = if m == 0 {
+                0
+            } else {
+                (1u64 << (64 - m.leading_zeros())) - 1
+            };
+            Interval { lo: 0, hi }
+        }
+        AluOp::Srl => match b.as_const() {
+            Some(s) => Interval {
+                lo: a.lo >> (s & 0x1F),
+                hi: a.hi >> (s & 0x1F),
+            },
+            None => Interval { lo: 0, hi: a.hi },
+        },
+        AluOp::Sll => match b.as_const() {
+            Some(s) => {
+                let s = s & 0x1F;
+                let hi = a.hi << s;
+                if hi < WORD {
+                    Interval { lo: a.lo << s, hi }
+                } else {
+                    Interval::TOP
+                }
+            }
+            None => Interval::TOP,
+        },
+        AluOp::Slt | AluOp::Sltu => Interval { lo: 0, hi: 1 },
+        AluOp::Sra => Interval::TOP,
+    }
+}
+
+/// Per-GPR interval environment. `x0` is pinned to zero.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Intervals(pub [Interval; 32]);
+
+impl Intervals {
+    /// Entry state for an mroutine: caller registers unknown.
+    #[must_use]
+    pub fn entry() -> Intervals {
+        let mut regs = [Interval::TOP; 32];
+        regs[0] = Interval::exact(0);
+        Intervals(regs)
+    }
+
+    /// The range of a register.
+    #[must_use]
+    pub fn get(&self, r: Reg) -> Interval {
+        self.0[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: Interval) {
+        if r != Reg::ZERO {
+            self.0[r.index()] = v;
+        }
+    }
+}
+
+impl Lattice for Intervals {
+    fn join_from(&mut self, other: &Self, widen: bool) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            let joined = mine.join(*theirs);
+            if joined != *mine {
+                *mine = if widen { Interval::TOP } else { joined };
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&mut self, _idx: usize, d: &DecodedInsn, pc: u32) {
+        match d.insn {
+            Insn::Lui { rd, imm20 } => self.set(rd, Interval::exact(imm20 << 12)),
+            Insn::Auipc { rd, imm20 } => {
+                self.set(rd, Interval::exact(pc.wrapping_add(imm20 << 12)));
+            }
+            Insn::AluImm { op, rd, rs1, imm } => {
+                let a = self.get(rs1);
+                self.set(rd, alu_interval(op, a, Interval::exact(imm as u32)));
+            }
+            Insn::Alu { op, rd, rs1, rs2 } => {
+                let (a, b) = (self.get(rs1), self.get(rs2));
+                self.set(rd, alu_interval(op, a, b));
+            }
+            Insn::MulDiv { op, rd, rs1, rs2 } => {
+                let v = match (self.get(rs1).as_const(), self.get(rs2).as_const()) {
+                    (Some(a), Some(b)) => Interval::exact(op.eval(a, b)),
+                    _ => Interval::TOP,
+                };
+                self.set(rd, v);
+            }
+            Insn::Jal { rd, .. } | Insn::Jalr { rd, .. } => {
+                self.set(rd, Interval::exact(pc.wrapping_add(4)));
+            }
+            _ => {
+                if let Some(rd) = d.dest {
+                    self.set(rd, Interval::TOP);
+                }
+            }
+        }
+    }
+}
+
+/// Taint bit: the value may derive from a secret Metal register.
+pub const SECRET: u8 = 1;
+/// Taint bit: the value derives from the saved return address (`m31`).
+pub const RETADDR: u8 = 2;
+
+/// Per-GPR taint environment.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Taints(pub [u8; 32]);
+
+impl Taints {
+    /// Entry state: caller values carry no Metal-side taint.
+    #[must_use]
+    pub fn entry() -> Taints {
+        Taints([0; 32])
+    }
+
+    /// The taint of a register.
+    #[must_use]
+    pub fn get(&self, r: Reg) -> u8 {
+        self.0[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, t: u8) {
+        if r != Reg::ZERO {
+            self.0[r.index()] = t;
+        }
+    }
+
+    fn union_srcs(&self, d: &DecodedInsn) -> u8 {
+        d.srcs.iter().flatten().fold(0, |acc, &r| acc | self.get(r))
+    }
+}
+
+impl Lattice for Taints {
+    fn join_from(&mut self, other: &Self, _widen: bool) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            let joined = *mine | *theirs;
+            changed |= joined != *mine;
+            *mine = joined;
+        }
+        changed
+    }
+
+    fn transfer(&mut self, _idx: usize, d: &DecodedInsn, _pc: u32) {
+        match d.insn {
+            Insn::Rmr { rd, idx } => {
+                let t = if idx == MregIdx::RETURN_ADDRESS {
+                    RETADDR
+                } else if idx.is_mreg() {
+                    SECRET
+                } else {
+                    // MCRs carry event metadata, not stored secrets.
+                    0
+                };
+                self.set(rd, t);
+            }
+            Insn::Mld { rd, .. } => self.set(rd, SECRET),
+            Insn::AluImm { .. } | Insn::Alu { .. } | Insn::MulDiv { .. } => {
+                if let Some(rd) = d.dest {
+                    let t = self.union_srcs(d);
+                    self.set(rd, t);
+                }
+            }
+            // Loads from normal memory, upper immediates, CSR reads, and
+            // link registers produce untainted values. (Known unsoundness:
+            // a secret stored to normal memory and reloaded comes back
+            // clean — the store itself is what the leak check flags.)
+            _ => {
+                if let Some(rd) = d.dest {
+                    self.set(rd, 0);
+                }
+            }
+        }
+    }
+}
+
+/// Def-site bit marking the value live at unit entry (or any def the
+/// bitset cannot name).
+pub const DEF_ENTRY: u64 = 1 << 63;
+
+/// Reaching definitions over the GPRs plus `m31` (slot 32). Each def
+/// site is the instruction index, capped at 63 sites per unit; larger
+/// units saturate into [`DEF_ENTRY`], which checks treat as unknown.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ReachDefs(pub [u64; 33]);
+
+/// The `m31` slot in [`ReachDefs`].
+pub const M31_SLOT: usize = 32;
+
+/// The def-site bit for instruction `idx`.
+#[must_use]
+pub fn def_bit(idx: usize) -> u64 {
+    if idx < 63 {
+        1 << idx
+    } else {
+        DEF_ENTRY
+    }
+}
+
+impl ReachDefs {
+    /// Entry state: everything defined by the caller/environment.
+    #[must_use]
+    pub fn entry() -> ReachDefs {
+        ReachDefs([DEF_ENTRY; 33])
+    }
+}
+
+impl Lattice for ReachDefs {
+    fn join_from(&mut self, other: &Self, _widen: bool) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            let joined = *mine | *theirs;
+            changed |= joined != *mine;
+            *mine = joined;
+        }
+        changed
+    }
+
+    fn transfer(&mut self, idx: usize, d: &DecodedInsn, _pc: u32) {
+        if let Some(rd) = d.dest {
+            self.0[rd.index()] = def_bit(idx);
+        }
+        if let Insn::Wmr { idx: mreg, .. } = d.insn {
+            if mreg == MregIdx::RETURN_ADDRESS {
+                self.0[M31_SLOT] = def_bit(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::solve;
+    use metal_asm::assemble_at;
+
+    fn last_state<L: Lattice>(src: &str, entry: L) -> (Cfg, L) {
+        let words = assemble_at(src, 0).unwrap();
+        let cfg = Cfg::build(0, &words);
+        let sol = solve(&cfg, entry);
+        let last_block = cfg.block_of[cfg.insns.len() - 1];
+        let states = sol.states_in_block(&cfg, last_block);
+        let state = states.last().expect("last block reachable").clone();
+        (cfg, state)
+    }
+
+    #[test]
+    fn interval_tracks_li_and_addi() {
+        let (_, iv) = last_state("li t0, 100\naddi t0, t0, 20\nmexit", Intervals::entry());
+        assert_eq!(iv.get(Reg::T0).as_const(), Some(120));
+    }
+
+    #[test]
+    fn interval_joins_branches() {
+        let src = "li t0, 4\nbeqz a0, other\nli t0, 8\nother: mexit";
+        let (_, iv) = last_state(src, Intervals::entry());
+        let r = iv.get(Reg::T0);
+        assert_eq!((r.lo, r.hi), (4, 8));
+    }
+
+    #[test]
+    fn interval_andi_bounds() {
+        let (_, iv) = last_state("andi t0, a0, 60\nmexit", Intervals::entry());
+        let r = iv.get(Reg::T0);
+        assert_eq!((r.lo, r.hi), (0, 60));
+    }
+
+    #[test]
+    fn interval_widens_loop_counter() {
+        // Counter decremented in a loop must terminate the solver.
+        let src = "li t0, 5\nloop: addi t0, t0, -1\nbnez t0, loop\nmexit";
+        let (_, iv) = last_state(src, Intervals::entry());
+        assert!(iv.get(Reg::T0).is_top() || iv.get(Reg::T0).hi < 6);
+    }
+
+    #[test]
+    fn taint_flows_through_alu() {
+        let (_, t) = last_state("rmr t0, m3\naddi t1, t0, 1\nmexit", Taints::entry());
+        assert_eq!(t.get(Reg::T1), SECRET);
+    }
+
+    #[test]
+    fn taint_cleared_by_constant() {
+        let (_, t) = last_state("rmr t0, m3\nli t0, 0\nmexit", Taints::entry());
+        assert_eq!(t.get(Reg::T0), 0);
+    }
+
+    #[test]
+    fn retaddr_taint_from_m31() {
+        let src = "rmr t0, m31\naddi t0, t0, 4\nmexit";
+        let (_, t) = last_state(src, Taints::entry());
+        assert_eq!(t.get(Reg::T0), RETADDR);
+    }
+
+    #[test]
+    fn mcr_reads_are_untainted() {
+        let (_, t) = last_state("rmr t0, mcause\nmexit", Taints::entry());
+        assert_eq!(t.get(Reg::T0), 0);
+    }
+
+    #[test]
+    fn reaching_defs_track_m31_writes() {
+        let src = "li t0, 16\nwmr m31, t0\nmexit";
+        let (_, rd) = last_state(src, ReachDefs::entry());
+        assert_eq!(rd.0[M31_SLOT], def_bit(1)); // the `wmr` at index 1
+    }
+}

@@ -1,0 +1,11 @@
+# Invocation counter: bumps a count in MRAM data word 0 on every call.
+# The accesses are constant offsets, so the bounds check proves them
+# in-segment; t0 is scrubbed before mexit so no MRAM-derived value
+# leaks back to the guest.
+#
+#   mlint examples/mcode/counter.s
+mld t0, 0(zero)
+addi t0, t0, 1
+mst t0, 0(zero)
+li t0, 0
+mexit

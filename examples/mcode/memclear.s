@@ -1,0 +1,14 @@
+# Zeroes the first 16 MRAM data words with a counted loop. The trip
+# count is a compile-time constant, so the analyzer derives a finite
+# worst-case instruction count (no unbounded-loop warning) and the
+# routine fits any reasonable budget.
+#
+#   mlint examples/mcode/memclear.s
+li t0, 16
+li t1, 60
+loop:
+mst zero, 0(t1)
+addi t1, t1, -4
+addi t0, t0, -1
+bnez t0, loop
+mexit

@@ -1,0 +1,12 @@
+# Instruction-skip trap handler (paper §2): delegated as an exception
+# handler, it advances the saved return address past the trapping
+# instruction and resumes the guest.
+#
+# Lint-clean under the full battery:
+#   mlint examples/mcode/skip_trap.s
+# m31 is written from a value *derived from* m31, so the return-address
+# check accepts it; nothing secret leaves Metal mode.
+rmr t0, m31
+addi t0, t0, 4
+wmr m31, t0
+mexit

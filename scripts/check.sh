@@ -16,6 +16,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> mlint (static analysis over example mcode)"
+# Example mroutines must stay lint-clean under the full battery, with
+# warnings promoted to failures.
+for f in examples/mcode/*.s; do
+    target/release/mlint --deny-warnings "$f"
+done
+
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "==> bench smoke (CHECK_BENCH=1)"
     scripts/bench_smoke.sh
@@ -25,9 +32,10 @@ if [[ "${CHECK_FUZZ:-0}" == "1" ]]; then
     echo "==> fuzz smoke (CHECK_FUZZ=1)"
     # A short real campaign: any divergence fails the gate.
     target/release/mfuzz --seconds 10 --jobs 2 --seed 1
-    # The committed corpus must keep replaying bit-identically.
+    # The committed corpus must keep replaying bit-identically, and
+    # every artifact must stay free of lint-soundness disagreements.
     for f in tests/corpus/*.s; do
-        target/release/mfuzz --replay "$f"
+        target/release/mfuzz --replay "$f" --lint
     done
 fi
 

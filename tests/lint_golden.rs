@@ -1,0 +1,89 @@
+//! Golden lint verdicts over the committed fuzz corpus and the
+//! known-leaky / known-clean mroutine pair.
+//!
+//! The committed artifacts under `tests/corpus/` were produced by real
+//! campaigns and replay divergence-free, so the analyzer must agree
+//! they are installable: no privilege or bounds denial anywhere. The
+//! leaky/clean pair pins the taint analysis: one secret-bearing
+//! register left live at `mexit` is flagged, and scrubbing it is all
+//! it takes to pass.
+
+use metal_fuzz::artifact;
+use metal_fuzz::lint::lint_case;
+use metal_lint::{Check, Level, LintConfig, MRAM_BASE};
+
+fn corpus_cases() -> Vec<(String, metal_fuzz::FuzzCase)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "s"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let content = std::fs::read_to_string(&path).unwrap();
+            let (case, _expect) =
+                artifact::parse(&content).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            (name, case)
+        })
+        .collect()
+}
+
+/// Every committed artifact lints; no unit earns a privilege or bounds
+/// denial (they all installed and ran to completion).
+#[test]
+fn committed_corpus_lints_installable() {
+    let cases = corpus_cases();
+    assert!(cases.len() >= 4, "expected the committed corpus");
+    for (name, case) in &cases {
+        let lint = lint_case(case).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for unit in lint.routines.iter().chain(std::iter::once(&lint.guest)) {
+            for d in &unit.report.diagnostics {
+                let blocking =
+                    d.level == Level::Deny && matches!(d.check, Check::Privilege | Check::Bounds);
+                assert!(
+                    !blocking,
+                    "{name}: unit `{}` denied: {}",
+                    unit.name, d.message
+                );
+            }
+        }
+    }
+}
+
+/// The corpus covers interception; the analyzer's constant folding
+/// must recover at least one statically-armed intercept from it.
+#[test]
+fn corpus_intercept_arm_is_constant_folded() {
+    let arms: usize = corpus_cases()
+        .iter()
+        .filter_map(|(_, case)| lint_case(case).ok())
+        .flat_map(|lint| {
+            lint.routines
+                .iter()
+                .map(|u| u.report.intercepts.len())
+                .collect::<Vec<_>>()
+        })
+        .sum();
+    assert!(arms >= 1, "no statically-resolved intercept arm in corpus");
+}
+
+/// Known-leaky vs known-clean: the pair differs only by a scrub of the
+/// secret-bearing register before `mexit`.
+#[test]
+fn leaky_and_clean_pair_golden() {
+    let config = LintConfig::mroutine(MRAM_BASE);
+    let leaky = metal_lint::lint_source("rmr t0, m0\nmexit", &config).unwrap();
+    let flagged = leaky
+        .iter()
+        .find(|d| d.check == Check::Leak)
+        .expect("leak diagnostic");
+    assert!(flagged.message.contains("t0"), "{flagged:?}");
+    assert_eq!(flagged.line, Some(2), "anchored at the mexit: {flagged:?}");
+
+    let clean = metal_lint::lint_source("rmr t0, m0\nli t0, 0\nmexit", &config).unwrap();
+    assert!(clean.iter().all(|d| d.check != Check::Leak), "{clean:?}");
+}
