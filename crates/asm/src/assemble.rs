@@ -1029,6 +1029,15 @@ fn expand(
                 rs2: Reg::ZERO,
             }])
         }
+        "mscrub" => {
+            arity(line, mnemonic, ops, 1)?;
+            Ok(vec![Insn::March {
+                op: MarchOp::Mscrub,
+                rd: as_reg(&ops[0], line)?,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+            }])
+        }
         "mtlbiall" => {
             arity(line, mnemonic, ops, 0)?;
             Ok(vec![Insn::March {

@@ -8,7 +8,7 @@
 //! (gaps zero-filled). `--symbols` prints the symbol table to stderr.
 
 use metal_asm::{assemble, Options};
-use metal_util::cli::{parse_u32, usage};
+use metal_util::cli::{fail, parse_u32, usage};
 use std::process::ExitCode;
 
 const USAGE: &str = "masm input.s [-o out.bin] [--base 0xADDR] [--symbols]";
@@ -42,34 +42,32 @@ fn main() -> ExitCode {
     };
     let src = match std::fs::read_to_string(&input) {
         Ok(src) => src,
-        Err(e) => {
-            eprintln!("masm: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail("masm", &format!("cannot read {input}: {e}")),
+    };
+    // The data segment sits 64 KiB past the text base; a base near the
+    // top of the 32-bit space leaves it no room.
+    let Some(data_base) = base.checked_add(0x1_0000) else {
+        return fail(
+            "masm",
+            &format!("--base {base:#x} leaves no address space for the data segment"),
+        );
     };
     let assembled = match assemble(
         &src,
         Options {
             text_base: base,
-            data_base: base + 0x1_0000,
+            data_base,
         },
     ) {
         Ok(out) => out,
-        Err(e) => {
-            eprintln!("masm: {input}:{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail("masm", &format!("{input}:{e}")),
     };
     let image = match assembled.flatten(base) {
         Ok(image) => image,
-        Err(msg) => {
-            eprintln!("masm: {msg}");
-            return ExitCode::FAILURE;
-        }
+        Err(msg) => return fail("masm", &msg),
     };
     if let Err(e) = std::fs::write(&output, &image) {
-        eprintln!("masm: cannot write {output}: {e}");
-        return ExitCode::FAILURE;
+        return fail("masm", &format!("cannot write {output}: {e}"));
     }
     if symbols {
         for (name, value) in &assembled.symbols {

@@ -44,7 +44,9 @@ fn main() -> ExitCode {
         let mut word = [0u8; 4];
         word[..chunk.len()].copy_from_slice(chunk);
         let word = u32::from_le_bytes(word);
-        let addr = base + (i as u32) * 4;
+        // Listings of images near the top of the address space wrap
+        // rather than overflow.
+        let addr = base.wrapping_add((i as u32).wrapping_mul(4));
         let line = match decode(word) {
             Ok(insn) => format!("{addr:#010x}: {word:08x}  {}", disassemble(&insn)),
             Err(_) => format!("{addr:#010x}: {word:08x}  .word {word:#010x}"),

@@ -6,7 +6,11 @@
 //! back to the baseline `mtvec` path, so partially-delegated systems
 //! also work.
 
+use crate::MetalError;
 use metal_pipeline::trap::TrapCause;
+
+/// Entries in the MRAM entry table; delegations must name one of them.
+const ENTRY_SLOTS: u8 = 64;
 
 /// Per-layer delegation tables: exception cause → entry, IRQ line →
 /// entry.
@@ -25,28 +29,66 @@ impl DelegationMap {
         DelegationMap::default()
     }
 
+    fn check_entry(entry: u8) -> Result<(), MetalError> {
+        if entry >= ENTRY_SLOTS {
+            return Err(MetalError::BadEntry { entry });
+        }
+        Ok(())
+    }
+
+    fn check_exception(cause: TrapCause) -> Result<(), MetalError> {
+        if cause.is_interrupt() {
+            return Err(MetalError::BadCause { code: cause.code() });
+        }
+        Ok(())
+    }
+
     /// Delegates one exception cause to an mroutine entry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called with an interrupt cause (use
-    /// [`DelegationMap::delegate_interrupt`]).
-    pub fn delegate_exception(&mut self, cause: TrapCause, entry: u8) {
-        assert!(
-            !cause.is_interrupt(),
-            "use delegate_interrupt for interrupt causes"
-        );
+    /// [`MetalError::BadCause`] for an interrupt cause (use
+    /// [`DelegationMap::delegate_interrupt`]); [`MetalError::BadEntry`]
+    /// for an entry outside the 64-slot table.
+    pub fn delegate_exception(&mut self, cause: TrapCause, entry: u8) -> Result<(), MetalError> {
+        Self::check_exception(cause)?;
+        Self::check_entry(entry)?;
         self.exceptions[cause.code() as usize & 31] = Some(entry);
+        Ok(())
+    }
+
+    /// Removes an exception delegation (the cause falls back to the
+    /// catch-all, then to the baseline path).
+    ///
+    /// # Errors
+    ///
+    /// [`MetalError::BadCause`] for an interrupt cause.
+    pub fn undelegate_exception(&mut self, cause: TrapCause) -> Result<(), MetalError> {
+        Self::check_exception(cause)?;
+        self.exceptions[cause.code() as usize & 31] = None;
+        Ok(())
     }
 
     /// Delegates every exception without a specific entry to `entry`.
-    pub fn delegate_all_exceptions(&mut self, entry: u8) {
+    ///
+    /// # Errors
+    ///
+    /// [`MetalError::BadEntry`] for an entry outside the table.
+    pub fn delegate_all_exceptions(&mut self, entry: u8) -> Result<(), MetalError> {
+        Self::check_entry(entry)?;
         self.all_exceptions = Some(entry);
+        Ok(())
     }
 
     /// Delegates an interrupt line to an mroutine entry.
-    pub fn delegate_interrupt(&mut self, line: u8, entry: u8) {
+    ///
+    /// # Errors
+    ///
+    /// [`MetalError::BadEntry`] for an entry outside the table.
+    pub fn delegate_interrupt(&mut self, line: u8, entry: u8) -> Result<(), MetalError> {
+        Self::check_entry(entry)?;
         self.interrupts[usize::from(line) & 31] = Some(entry);
+        Ok(())
     }
 
     /// Removes an interrupt delegation.
@@ -71,8 +113,8 @@ mod tests {
     #[test]
     fn specific_beats_catch_all() {
         let mut d = DelegationMap::new();
-        d.delegate_all_exceptions(9);
-        d.delegate_exception(TrapCause::Ecall, 3);
+        d.delegate_all_exceptions(9).unwrap();
+        d.delegate_exception(TrapCause::Ecall, 3).unwrap();
         assert_eq!(d.lookup(TrapCause::Ecall), Some(3));
         assert_eq!(d.lookup(TrapCause::LoadPageFault), Some(9));
     }
@@ -80,7 +122,7 @@ mod tests {
     #[test]
     fn interrupts_separate_from_exceptions() {
         let mut d = DelegationMap::new();
-        d.delegate_interrupt(1, 4);
+        d.delegate_interrupt(1, 4).unwrap();
         assert_eq!(d.lookup(TrapCause::Interrupt(1)), Some(4));
         assert_eq!(d.lookup(TrapCause::Interrupt(0)), None);
         assert_eq!(d.lookup(TrapCause::Ecall), None);
@@ -89,9 +131,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "delegate_interrupt")]
     fn exception_api_rejects_interrupts() {
         let mut d = DelegationMap::new();
-        d.delegate_exception(TrapCause::Interrupt(0), 1);
+        assert!(matches!(
+            d.delegate_exception(TrapCause::Interrupt(0), 1),
+            Err(MetalError::BadCause { .. })
+        ));
+        assert!(matches!(
+            d.undelegate_exception(TrapCause::Interrupt(3)),
+            Err(MetalError::BadCause { .. })
+        ));
+        assert_eq!(d.lookup(TrapCause::Interrupt(0)), None);
+    }
+
+    #[test]
+    fn out_of_table_entries_rejected() {
+        let mut d = DelegationMap::new();
+        for result in [
+            d.delegate_exception(TrapCause::Ecall, 64),
+            d.delegate_all_exceptions(200),
+            d.delegate_interrupt(0, 64),
+        ] {
+            assert!(matches!(result, Err(MetalError::BadEntry { .. })));
+        }
+        assert_eq!(d.lookup(TrapCause::Ecall), None);
+        assert_eq!(d.lookup(TrapCause::Interrupt(0)), None);
+        // 63 is the last valid slot.
+        d.delegate_exception(TrapCause::Ecall, 63).unwrap();
+        assert_eq!(d.lookup(TrapCause::Ecall), Some(63));
+    }
+
+    #[test]
+    fn undelegation_restores_fallbacks() {
+        let mut d = DelegationMap::new();
+        d.delegate_all_exceptions(9).unwrap();
+        d.delegate_exception(TrapCause::Ecall, 3).unwrap();
+        d.undelegate_exception(TrapCause::Ecall).unwrap();
+        // The specific slot is gone; the catch-all still applies.
+        assert_eq!(d.lookup(TrapCause::Ecall), Some(9));
+        // Undelegating an already-clear cause is a no-op, not an error.
+        d.undelegate_exception(TrapCause::IllegalInstruction)
+            .unwrap();
+        assert_eq!(d.lookup(TrapCause::IllegalInstruction), Some(9));
     }
 }

@@ -1,0 +1,249 @@
+//! Parity/ECC metadata modeled on MRAM and the Metal register file.
+//!
+//! The fault-tolerance story of the paper's architecture (reliability
+//! features *in mcode*) needs detection hardware the mcode can react
+//! to. This module models the per-word check bits: a single parity bit
+//! (detects any odd number of flipped bits, corrects nothing) or a
+//! SECDED Hamming code over the 32 data bits plus an overall parity
+//! bit (corrects single-bit errors via the syndrome, detects
+//! double-bit errors). Detection raises
+//! `TrapCause::MachineCheck { site, syndrome }`; repair is left to a
+//! recovery mroutine (`mscrub`), keeping the hardware model minimal.
+//!
+//! Syndrome byte convention: bit 7 set means syndrome decoding cannot
+//! locate the error (parity detection, double-bit error, or an invalid
+//! Hamming position) — the word is uncorrectable in place and recovery
+//! must fall back to a golden copy or checkpoint rollback.
+
+/// Which check-bit scheme protects a structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EccMode {
+    /// No check bits; faults are silent (the baseline).
+    #[default]
+    None,
+    /// One parity bit per word: detects odd-weight errors, corrects
+    /// nothing.
+    Parity,
+    /// Hamming SECDED over 32 data bits (6 syndrome bits + overall
+    /// parity): corrects single-bit errors, detects double-bit errors.
+    Secded,
+}
+
+impl EccMode {
+    /// Stable label used in CLI flags and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EccMode::None => "none",
+            EccMode::Parity => "parity",
+            EccMode::Secded => "secded",
+        }
+    }
+
+    /// Parses a CLI label.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<EccMode> {
+        match s {
+            "none" => Some(EccMode::None),
+            "parity" => Some(EccMode::Parity),
+            "secded" => Some(EccMode::Secded),
+            _ => None,
+        }
+    }
+
+    /// Computes the check byte for a data word.
+    #[must_use]
+    pub fn encode(self, word: u32) -> u8 {
+        match self {
+            EccMode::None => 0,
+            EccMode::Parity => (word.count_ones() & 1) as u8,
+            EccMode::Secded => {
+                let c = hamming_checks(word);
+                let overall = (word.count_ones() + u32::from(c).count_ones()) & 1;
+                c | ((overall as u8) << 6)
+            }
+        }
+    }
+
+    /// Validates a stored word against its check byte.
+    #[must_use]
+    pub fn check(self, word: u32, check: u8) -> EccCheck {
+        match self {
+            EccMode::None => EccCheck::Clean,
+            EccMode::Parity => {
+                if (word.count_ones() & 1) as u8 == check & 1 {
+                    EccCheck::Clean
+                } else {
+                    EccCheck::Error {
+                        corrected: None,
+                        syndrome: 0x80,
+                    }
+                }
+            }
+            EccMode::Secded => {
+                let syn = hamming_checks(word) ^ (check & 0x3F);
+                let total = (word.count_ones() + u32::from(check & 0x7F).count_ones()) & 1;
+                match (syn, total) {
+                    (0, 0) => EccCheck::Clean,
+                    // Odd error weight: a single flipped bit the
+                    // syndrome locates (or an error confined to the
+                    // check bits, leaving the data word intact).
+                    (syn, 1) => match locate_data_bit(syn) {
+                        Some(bit) => EccCheck::Error {
+                            corrected: Some(word ^ (1 << bit)),
+                            syndrome: syn,
+                        },
+                        None if syn == 0 || u32::from(syn).is_power_of_two() => EccCheck::Error {
+                            corrected: Some(word),
+                            syndrome: syn,
+                        },
+                        None => EccCheck::Error {
+                            corrected: None,
+                            syndrome: 0x80 | syn,
+                        },
+                    },
+                    // Even error weight with a nonzero syndrome:
+                    // double-bit error, detected but not locatable.
+                    (syn, _) => EccCheck::Error {
+                        corrected: None,
+                        syndrome: 0x80 | syn,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Result of validating a word against its check bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EccCheck {
+    /// Word and check bits agree.
+    Clean,
+    /// Mismatch. `corrected` carries the repaired data word when the
+    /// syndrome locates the error; `syndrome` is reported in the
+    /// machine-check cause (bit 7 set = not locatable).
+    Error {
+        /// The repaired word, when single-bit correction applies.
+        corrected: Option<u32>,
+        /// The reported syndrome.
+        syndrome: u8,
+    },
+}
+
+/// Codeword position of each data bit (positions that are powers of
+/// two hold check bits, as in a classic Hamming layout).
+const DATA_POS: [u8; 32] = build_data_positions();
+
+const fn build_data_positions() -> [u8; 32] {
+    let mut table = [0u8; 32];
+    let mut pos: u8 = 0;
+    let mut i = 0;
+    while i < 32 {
+        pos += 1;
+        if !pos.is_power_of_two() {
+            table[i] = pos;
+            i += 1;
+        }
+    }
+    table
+}
+
+/// The 6 Hamming check bits of a data word.
+fn hamming_checks(word: u32) -> u8 {
+    let mut c = 0u8;
+    for (i, &pos) in DATA_POS.iter().enumerate() {
+        if word >> i & 1 == 1 {
+            c ^= pos;
+        }
+    }
+    c
+}
+
+/// Maps a syndrome back to the data-bit index it names, if any.
+fn locate_data_bit(syn: u8) -> Option<u32> {
+    DATA_POS.iter().position(|&p| p == syn).map(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metal_util::Rng;
+
+    #[test]
+    fn clean_words_verify() {
+        let mut rng = Rng::new(0x5EED);
+        for mode in [EccMode::None, EccMode::Parity, EccMode::Secded] {
+            for _ in 0..200 {
+                let w = rng.next_u32();
+                assert_eq!(mode.check(w, mode.encode(w)), EccCheck::Clean);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_detects_single_flips_without_correcting() {
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let w = rng.next_u32();
+            let check = EccMode::Parity.encode(w);
+            let bit = rng.below(32) as u32;
+            match EccMode::Parity.check(w ^ (1 << bit), check) {
+                EccCheck::Error {
+                    corrected: None,
+                    syndrome,
+                } => assert_eq!(syndrome, 0x80),
+                other => panic!("parity flip not detected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        let mut rng = Rng::new(2);
+        for _ in 0..50 {
+            let w = rng.next_u32();
+            let check = EccMode::Secded.encode(w);
+            for bit in 0..32u32 {
+                match EccMode::Secded.check(w ^ (1 << bit), check) {
+                    EccCheck::Error {
+                        corrected: Some(fixed),
+                        syndrome,
+                    } => {
+                        assert_eq!(fixed, w, "bit {bit}");
+                        assert_eq!(syndrome & 0x80, 0, "bit {bit}");
+                    }
+                    other => panic!("single flip of bit {bit} not corrected: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn secded_flags_double_bit_flips_uncorrectable() {
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            let w = rng.next_u32();
+            let check = EccMode::Secded.encode(w);
+            let a = rng.below(32) as u32;
+            let mut b = rng.below(32) as u32;
+            while b == a {
+                b = rng.below(32) as u32;
+            }
+            match EccMode::Secded.check(w ^ (1 << a) ^ (1 << b), check) {
+                EccCheck::Error {
+                    corrected: None,
+                    syndrome,
+                } => assert_ne!(syndrome & 0x80, 0, "bits {a},{b}"),
+                other => panic!("double flip {a},{b} misclassified: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn data_positions_skip_check_slots() {
+        for pos in DATA_POS {
+            assert!(!pos.is_power_of_two());
+            assert!(pos <= 38);
+        }
+    }
+}

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod delegate;
+pub mod ecc;
 pub mod intercept;
 pub mod loader;
 pub mod metal;
@@ -42,6 +43,7 @@ pub mod mram;
 pub mod mreg;
 pub mod verify;
 
+pub use ecc::{EccCheck, EccMode};
 pub use intercept::{InterceptRule, InterceptTable};
 pub use loader::MetalBuilder;
 pub use metal::{DispatchStyle, Layer, Metal, MetalConfig, MetalStats, Mode};
@@ -62,6 +64,12 @@ pub enum MetalError {
     EntryInUse {
         /// The occupied entry.
         entry: u8,
+    },
+    /// A trap cause passed to the wrong delegation API (an interrupt
+    /// cause to the exception map, or vice versa).
+    BadCause {
+        /// The misused cause code.
+        code: u32,
     },
     /// MRAM code segment exhausted.
     CodeOverflow {
@@ -106,6 +114,9 @@ impl fmt::Display for MetalError {
         match self {
             MetalError::BadEntry { entry } => write!(f, "entry {entry} outside the entry table"),
             MetalError::EntryInUse { entry } => write!(f, "entry {entry} already bound"),
+            MetalError::BadCause { code } => {
+                write!(f, "cause {code:#x} passed to the wrong delegation API")
+            }
             MetalError::CodeOverflow { needed, capacity } => {
                 write!(f, "MRAM code overflow: need {needed} of {capacity} bytes")
             }

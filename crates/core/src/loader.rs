@@ -7,6 +7,7 @@
 //! MRAM, program delegations, and construct the core. For PALcode-style
 //! dispatch the same image is placed in main memory instead.
 
+use crate::ecc::EccMode;
 use crate::metal::{DispatchStyle, Metal, MetalConfig};
 use crate::verify::{has_errors, lint_routine, verify_routine, Issue, VerifyContext};
 use crate::MetalError;
@@ -90,6 +91,14 @@ impl MetalBuilder {
     #[must_use]
     pub fn config(mut self, config: MetalConfig) -> MetalBuilder {
         self.config = config;
+        self
+    }
+
+    /// Protects MRAM words and the Metal register file with the given
+    /// check-bit scheme (detected errors raise machine checks).
+    #[must_use]
+    pub fn ecc(mut self, mode: EccMode) -> MetalBuilder {
+        self.config.ecc = mode;
         self
     }
 
@@ -212,16 +221,16 @@ impl MetalBuilder {
                     entry,
                 } => metal.layers[layer]
                     .delegation
-                    .delegate_exception(cause, entry),
+                    .delegate_exception(cause, entry)?,
                 Delegation::AllExceptions { layer, entry } => {
                     metal.layers[layer]
                         .delegation
-                        .delegate_all_exceptions(entry);
+                        .delegate_all_exceptions(entry)?;
                 }
                 Delegation::Interrupt { layer, line, entry } => {
                     metal.layers[layer]
                         .delegation
-                        .delegate_interrupt(line, entry);
+                        .delegate_interrupt(line, entry)?;
                 }
             }
         }

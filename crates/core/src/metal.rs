@@ -23,18 +23,21 @@
 //!   layers first.
 
 use crate::delegate::DelegationMap;
+use crate::ecc::EccMode;
 use crate::intercept::InterceptTable;
 use crate::mram::{Mram, MramConfig, MRAM_BASE};
 use crate::mreg::{EntryCause, MregFile, MSTATUS_INTERCEPT_ENABLE};
 use crate::MetalError;
 use metal_isa::insn::Insn;
-use metal_isa::metal::{MarchOp, MENTER_INDIRECT};
+use metal_isa::metal::{MarchOp, Mcr, MENTER_INDIRECT};
 use metal_isa::reg::Reg;
 use metal_isa::{decode_to, DecodedInsn};
 use metal_pipeline::hooks::{CustomExec, DecodeOutcome, Hooks, TrapDisposition, TrapEvent};
-use metal_pipeline::state::MachineState;
+use metal_pipeline::state::{HaltReason, MachineState};
 use metal_pipeline::trap::{Trap, TrapCause};
-use metal_trace::{EventKind, MetricsSnapshot, TransitionCause, TransitionTable};
+use metal_trace::{
+    EventKind, FaultSite, MetricsSnapshot, RecoveryAction, TransitionCause, TransitionTable,
+};
 
 /// Where mroutine code physically lives — the ablation axis of
 /// experiment E1.
@@ -67,6 +70,9 @@ pub struct MetalConfig {
     /// Extra dispatch cycles charged for PALcode-style entry (pipeline
     /// drain on the Alpha).
     pub palcode_drain: u32,
+    /// Check-bit scheme protecting MRAM words and the Metal register
+    /// file. Detected errors raise [`TrapCause::MachineCheck`].
+    pub ecc: EccMode,
 }
 
 impl Default for MetalConfig {
@@ -77,6 +83,7 @@ impl Default for MetalConfig {
             decode_replacement: true,
             layers: 1,
             palcode_drain: 2,
+            ecc: EccMode::None,
         }
     }
 }
@@ -118,6 +125,26 @@ pub struct MetalStats {
     pub delegated_interrupts: u64,
     /// Nested `menter` calls from Metal mode.
     pub nested_calls: u64,
+    /// Machine checks raised by check-bit verification.
+    pub machine_checks: u64,
+    /// Successful `march.mscrub` repairs.
+    pub scrubs: u64,
+}
+
+/// One in-flight transition on the entry stack.
+#[derive(Clone, Copy, Debug)]
+struct EntryFrame {
+    /// Entry-table slot.
+    entry: u8,
+    /// Entry cycle, for latency attribution at `mexit`.
+    entered_at: u64,
+    /// True for machine-check delivery frames: a further machine check
+    /// while one is live is fatal (no recursive recovery).
+    mcheck: bool,
+    /// The interrupted mroutine's `m31` as a raw (value, check-bits)
+    /// pair, banked when a machine check preempts Metal mode; restored
+    /// verbatim at `mexit`.
+    saved_m31: Option<(u32, u8)>,
 }
 
 /// The Metal extension state.
@@ -143,7 +170,10 @@ pub struct Metal {
     mode_stack: Vec<usize>,
     /// Parallel to `mode_stack`: the entry-table slot and entry cycle of
     /// each in-flight transition, for latency attribution at `mexit`.
-    entry_stack: Vec<(u8, u64)>,
+    entry_stack: Vec<EntryFrame>,
+    /// Site and word/register index of the last delivered machine
+    /// check — the implicit operand of `march.mscrub`.
+    last_mcheck: Option<(FaultSite, u32)>,
     /// Layer whose tables `mintercept`/`mlayer` currently target, and
     /// the layer attributed to `menter` entries.
     active_layer: usize,
@@ -155,15 +185,20 @@ impl Metal {
     #[must_use]
     pub fn new(config: MetalConfig) -> Metal {
         let layers = config.layers.max(1);
+        let mut mram = Mram::new(config.mram);
+        mram.set_ecc(config.ecc);
+        let mut mregs = MregFile::new();
+        mregs.set_ecc(config.ecc);
         Metal {
-            mram: Mram::new(config.mram),
-            mregs: MregFile::new(),
+            mram,
+            mregs,
             layers: vec![Layer::default(); layers],
             stats: MetalStats::default(),
             transitions: TransitionTable::new(),
             config,
             mode_stack: Vec::new(),
             entry_stack: Vec::new(),
+            last_mcheck: None,
             active_layer: layers - 1,
         }
     }
@@ -222,6 +257,9 @@ impl Metal {
     fn dispatch_fetch(&mut self, state: &mut MachineState, pc: u32) -> Result<(u32, u32), Trap> {
         match self.config.dispatch {
             DispatchStyle::Mram => {
+                if let Some(trap) = self.verify_mram_code(pc) {
+                    return Err(trap);
+                }
                 let word = self
                     .mram
                     .code_word(pc)
@@ -296,7 +334,12 @@ impl Metal {
         };
         self.mode_stack.push(layer);
         self.transitions.record_entry(entry);
-        self.entry_stack.push((entry, state.perf.cycles));
+        self.entry_stack.push(EntryFrame {
+            entry,
+            entered_at: state.perf.cycles,
+            mcheck: false,
+            saved_m31: None,
+        });
         state.trace.emit(EventKind::MEnter {
             entry,
             cause: transition_cause,
@@ -333,6 +376,24 @@ impl Metal {
     fn delegation_lookup(&self, cause: TrapCause) -> Option<(u8, usize)> {
         (0..self.layers.len()).find_map(|l| self.layers[l].delegation.lookup(cause).map(|e| (e, l)))
     }
+
+    /// True while a machine-check recovery mroutine is on the stack.
+    fn in_mcheck(&self) -> bool {
+        self.entry_stack.iter().any(|f| f.mcheck)
+    }
+
+    /// Check-bit validation of an MRAM code fetch; `Some` is the
+    /// machine-check trap to raise instead of using the word.
+    fn verify_mram_code(&self, pc: u32) -> Option<Trap> {
+        let syndrome = self.mram.code_verify(pc)?;
+        Some(Trap::new(
+            TrapCause::MachineCheck {
+                site: FaultSite::MramCode,
+                syndrome,
+            },
+            pc,
+        ))
+    }
 }
 
 impl Hooks for Metal {
@@ -348,6 +409,9 @@ impl Hooks for Metal {
         // the window fault.
         if self.mode() == Mode::Normal {
             return Some(Err(Trap::new(TrapCause::InsnAccessFault, pc)));
+        }
+        if let Some(trap) = self.verify_mram_code(pc) {
+            return Some(Err(trap));
         }
         Some(
             self.mram
@@ -370,6 +434,9 @@ impl Hooks for Metal {
         }
         if self.mode() == Mode::Normal {
             return Some(Err(Trap::new(TrapCause::InsnAccessFault, pc)));
+        }
+        if let Some(trap) = self.verify_mram_code(pc) {
+            return Some(Err(trap));
         }
         // MRAM code is pre-decoded at install time; fetches from the
         // window never pay a per-cycle decode.
@@ -442,13 +509,36 @@ impl Hooks for Metal {
                 }
             }
             (Insn::Mexit, Mode::Metal { .. }) => {
+                // A corrupted return address must be caught before it
+                // is consumed. The frame stays intact, so after the
+                // recovery mroutine scrubs `m31` this mexit retries.
+                if let Some(syndrome) = self.mregs.verify(31) {
+                    return DecodeOutcome::Fault {
+                        trap: Trap::new(
+                            TrapCause::MachineCheck {
+                                site: FaultSite::Mreg,
+                                syndrome,
+                            },
+                            31,
+                        ),
+                        pc: None,
+                    };
+                }
                 let target = self.mregs.return_address();
                 self.stats.mexits += 1;
                 self.mode_stack.pop();
-                if let Some((entry, entered_at)) = self.entry_stack.pop() {
-                    self.transitions
-                        .record_exit(entry, state.perf.cycles.saturating_sub(entered_at));
-                    state.trace.emit(EventKind::MExit { entry, target });
+                if let Some(frame) = self.entry_stack.pop() {
+                    self.transitions.record_exit(
+                        frame.entry,
+                        state.perf.cycles.saturating_sub(frame.entered_at),
+                    );
+                    state.trace.emit(EventKind::MExit {
+                        entry: frame.entry,
+                        target,
+                    });
+                    if let Some(banked) = frame.saved_m31 {
+                        self.mregs.set_raw(31, banked);
+                    }
                 }
                 // A nested mexit unwinds into the *outer mroutine*, whose
                 // code lives in MRAM; only the outermost mexit returns to
@@ -456,6 +546,8 @@ impl Hooks for Metal {
                 let fetched = if self.mram.contains_pc(target) {
                     if self.mode() == Mode::Normal {
                         Err(Trap::new(TrapCause::InsnAccessFault, target))
+                    } else if let Some(trap) = self.verify_mram_code(target) {
+                        Err(trap)
                     } else {
                         self.mram
                             .code_word(target)
@@ -512,16 +604,51 @@ impl Hooks for Metal {
             "decode gate lets Metal instructions reach EX only in Metal mode"
         );
         match *insn {
-            Insn::Rmr { idx, .. } => Ok(CustomExec {
-                writeback: Some(self.mregs.read(idx, state)),
-                extra_cycles: 0,
-            }),
+            Insn::Rmr { idx, .. } => {
+                if let Some(n) = idx.mreg_index() {
+                    if let Some(syndrome) = self.mregs.verify(n) {
+                        return Err(Trap::new(
+                            TrapCause::MachineCheck {
+                                site: FaultSite::Mreg,
+                                syndrome,
+                            },
+                            n as u32,
+                        ));
+                    }
+                }
+                Ok(CustomExec {
+                    writeback: Some(self.mregs.read(idx, state)),
+                    extra_cycles: 0,
+                })
+            }
             Insn::Wmr { idx, .. } => {
+                // `mabort` is write-sensitive: the recovery mroutine's
+                // declaration that the machine check is unrecoverable.
+                if matches!(Mcr::from_index(idx), Some(Mcr::Mabort)) {
+                    if rs1 != 0 {
+                        state.trace.emit(EventKind::Recovery {
+                            action: RecoveryAction::Abort,
+                        });
+                        state.halted = Some(HaltReason::Fatal(format!(
+                            "machine-check recovery abort (mabort = {rs1:#x})"
+                        )));
+                    }
+                    return Ok(CustomExec::default());
+                }
                 self.mregs.write(idx, rs1);
                 Ok(CustomExec::default())
             }
             Insn::Mld { offset, .. } => {
                 let addr = rs1.wrapping_add(offset as u32);
+                if let Some(syndrome) = self.mram.data_verify(addr) {
+                    return Err(Trap::new(
+                        TrapCause::MachineCheck {
+                            site: FaultSite::MramData,
+                            syndrome,
+                        },
+                        addr,
+                    ));
+                }
                 let value = self
                     .mram
                     .data_load(addr)
@@ -546,13 +673,45 @@ impl Hooks for Metal {
     }
 
     fn on_trap(&mut self, state: &mut MachineState, event: &TrapEvent) -> TrapDisposition {
+        let is_mcheck = if let TrapCause::MachineCheck { site, syndrome } = event.cause {
+            self.stats.machine_checks += 1;
+            state.trace.emit(EventKind::MachineCheck {
+                site,
+                syndrome,
+                addr: event.tval,
+            });
+            // Record which word faulted — the implicit `mscrub` operand.
+            self.last_mcheck = Some((
+                site,
+                match site {
+                    FaultSite::MramCode => event.tval.wrapping_sub(MRAM_BASE) / 4,
+                    FaultSite::MramData => event.tval / 4,
+                    _ => event.tval,
+                },
+            ));
+            true
+        } else {
+            false
+        };
         if let Mode::Metal { .. } = self.mode() {
             // A fault inside a non-interruptible mroutine: there is no
             // handler to recurse into. Static verification is supposed
-            // to prevent this (paper §2.1).
-            return TrapDisposition::Fatal;
+            // to prevent this (paper §2.1). The one exception is a
+            // machine check — transient hardware faults cannot be
+            // verified away — which preempts the mroutine unless
+            // recovery itself is already on the stack (recursing into
+            // possibly-corrupted recovery code cannot terminate).
+            if !is_mcheck || self.in_mcheck() {
+                return TrapDisposition::Fatal;
+            }
         }
         let Some((entry, layer)) = self.delegation_lookup(event.cause) else {
+            // The baseline mtvec path is a normal-mode construct; an
+            // undelegated machine check caught mid-mroutine has no
+            // handler at all.
+            if is_mcheck && self.mode() != Mode::Normal {
+                return TrapDisposition::Fatal;
+            }
             return TrapDisposition::Default;
         };
         let Some(pc) = self.entry_pc(entry) else {
@@ -569,13 +728,25 @@ impl Hooks for Metal {
                 (EntryCause::Exception(other), TransitionCause::Exception)
             }
         };
+        // A machine check may preempt Metal mode: bank the interrupted
+        // mroutine's `m31` (raw, check bits and all — it may itself be
+        // the corrupted word) so recovery's `mexit` can restore it.
+        let saved_m31 = match self.mode() {
+            Mode::Metal { .. } => Some(self.mregs.raw(31)),
+            Mode::Normal => None,
+        };
         self.mregs.set(31, event.pc);
         self.mregs.mcause = cause.encode();
         self.mregs.mbadaddr = event.tval;
         self.mregs.mentry = u32::from(entry);
         self.mode_stack.push(layer);
         self.transitions.record_entry(entry);
-        self.entry_stack.push((entry, state.perf.cycles));
+        self.entry_stack.push(EntryFrame {
+            entry,
+            entered_at: state.perf.cycles,
+            mcheck: is_mcheck,
+            saved_m31,
+        });
         state.trace.emit(EventKind::TrapDelegated {
             entry,
             layer: layer as u8,
@@ -669,6 +840,45 @@ impl Metal {
             MarchOp::Mtlbiall => {
                 state.tlb.flush_all();
             }
+            MarchOp::Mscrub => {
+                let repaired = match self.last_mcheck {
+                    Some((FaultSite::MramCode, index)) => self.mram.scrub_code(index),
+                    Some((FaultSite::MramData, index)) => self.mram.scrub_data(index),
+                    Some((FaultSite::Mreg, n)) => {
+                        let n = (n & 31) as usize;
+                        let banked = self
+                            .entry_stack
+                            .last()
+                            .filter(|f| f.mcheck)
+                            .and_then(|f| f.saved_m31);
+                        match (n, banked) {
+                            // Delivery banked the corrupted `m31` into
+                            // the frame before repointing the live
+                            // register at the faulting pc; the flop to
+                            // repair is the banked copy.
+                            (31, Some(raw)) => match self.mregs.scrub_raw(raw) {
+                                Some(fixed) => {
+                                    self.entry_stack
+                                        .last_mut()
+                                        .expect("frame existence checked above")
+                                        .saved_m31 = Some(fixed);
+                                    true
+                                }
+                                None => false,
+                            },
+                            _ => self.mregs.scrub(n),
+                        }
+                    }
+                    _ => false,
+                };
+                if repaired {
+                    self.stats.scrubs += 1;
+                    state.trace.emit(EventKind::Recovery {
+                        action: RecoveryAction::Retry,
+                    });
+                }
+                exec.writeback = Some(u32::from(repaired));
+            }
         }
         Ok(exec)
     }
@@ -689,6 +899,8 @@ impl Metal {
             self.stats.delegated_interrupts,
         );
         snapshot.set_counter("metal.nested_calls", self.stats.nested_calls);
+        snapshot.set_counter("metal.machine_checks", self.stats.machine_checks);
+        snapshot.set_counter("metal.scrubs", self.stats.scrubs);
         self.transitions.publish(snapshot, "transition");
     }
 

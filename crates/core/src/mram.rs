@@ -11,6 +11,7 @@
 //! hook in one cycle and never touch the I-cache. The data segment is a
 //! separate little address space reachable only through `mld`/`mst`.
 
+use crate::ecc::{EccCheck, EccMode};
 use crate::MetalError;
 use metal_isa::metal::MAX_MROUTINES;
 use metal_isa::{decode_to, DecodedInsn};
@@ -67,6 +68,23 @@ pub struct Mram {
     entries: Vec<Option<MroutineInfo>>,
     next_offset: u32,
     generation: u64,
+    /// Check-bit scheme protecting both segments ([`EccMode::None`]
+    /// disables verification entirely — the zero-cost default).
+    ecc: EccMode,
+    /// Per-word check bits for the code / data segments, recomputed on
+    /// every legitimate write. Fault injection flips only the primary
+    /// arrays, leaving these stale — exactly how a real particle strike
+    /// presents to the detection hardware.
+    code_check: Vec<u8>,
+    data_check: Vec<u8>,
+    /// Golden copy of the code segment: the install image. Code is
+    /// read-only after install, so this never goes stale and `mscrub`
+    /// can repair any corrupted code word from it.
+    golden_code: Vec<u32>,
+    /// Write-through mirror of the data segment, updated on every
+    /// `data_store`: a redundant protected copy that tracks legitimate
+    /// updates, so scrubbing a corrupted data word is always correct.
+    golden_data: Vec<u8>,
 }
 
 impl Mram {
@@ -84,7 +102,34 @@ impl Mram {
             next_offset: 0,
             config,
             generation: 0,
+            ecc: EccMode::None,
+            code_check: vec![0; words],
+            data_check: vec![0; (config.data_bytes / 4) as usize],
+            golden_code: vec![0; words],
+            golden_data: vec![0; config.data_bytes as usize],
         }
+    }
+
+    /// The active check-bit scheme.
+    #[must_use]
+    pub fn ecc(&self) -> EccMode {
+        self.ecc
+    }
+
+    /// Switches the check-bit scheme and recomputes all check bits and
+    /// golden copies from the current (trusted) contents. Host-side
+    /// writes through [`Mram::data_mut`] made after this call must be
+    /// followed by another `set_ecc` to stay consistent.
+    pub fn set_ecc(&mut self, mode: EccMode) {
+        self.ecc = mode;
+        for (i, &w) in self.code.iter().enumerate() {
+            self.code_check[i] = mode.encode(w);
+        }
+        for i in 0..self.data_check.len() {
+            self.data_check[i] = mode.encode(self.data_word_at(i as u32));
+        }
+        self.golden_code.copy_from_slice(&self.code);
+        self.golden_data.copy_from_slice(&self.data);
     }
 
     /// The geometry.
@@ -112,10 +157,12 @@ impl Mram {
         let offset = self.next_offset;
         let word_base = (offset / 4) as usize;
         self.code[word_base..word_base + words.len()].copy_from_slice(words);
+        self.golden_code[word_base..word_base + words.len()].copy_from_slice(words);
         // Pre-decode at load time; bump the generation so any consumer
         // holding stale decoded state can notice the (re)load.
         for (i, &word) in words.iter().enumerate() {
             self.decoded[word_base + i] = decode_to(word);
+            self.code_check[word_base + i] = self.ecc.encode(word);
         }
         self.generation += 1;
         self.next_offset += len;
@@ -198,6 +245,8 @@ impl Mram {
         }
         let i = addr as usize;
         self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.golden_data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.data_check[i / 4] = self.ecc.encode(value);
         Ok(())
     }
 
@@ -211,6 +260,119 @@ impl Mram {
     /// Host-side mutable view of the data segment.
     pub fn data_mut(&mut self) -> &mut [u8] {
         &mut self.data
+    }
+
+    /// Number of 32-bit words in the code segment.
+    #[must_use]
+    pub fn code_words(&self) -> u32 {
+        self.config.code_bytes / 4
+    }
+
+    /// Number of 32-bit words in the data segment.
+    #[must_use]
+    pub fn data_words(&self) -> u32 {
+        self.config.data_bytes / 4
+    }
+
+    /// Raw code word by word index (fault-injection harness).
+    #[must_use]
+    pub fn code_word_at(&self, index: u32) -> u32 {
+        self.code[index as usize]
+    }
+
+    /// Raw data word by word index (fault-injection harness).
+    #[must_use]
+    pub fn data_word_at(&self, index: u32) -> u32 {
+        let i = index as usize * 4;
+        u32::from_le_bytes([
+            self.data[i],
+            self.data[i + 1],
+            self.data[i + 2],
+            self.data[i + 3],
+        ])
+    }
+
+    /// Validates the code word at an MRAM PC against its check bits.
+    /// `None` = clean (or ECC off); `Some(syndrome)` = machine check.
+    #[must_use]
+    pub fn code_verify(&self, pc: u32) -> Option<u8> {
+        if self.ecc == EccMode::None || !self.contains_pc(pc) || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((pc - MRAM_BASE) / 4) as usize;
+        match self.ecc.check(self.code[i], self.code_check[i]) {
+            EccCheck::Clean => None,
+            EccCheck::Error { syndrome, .. } => Some(syndrome),
+        }
+    }
+
+    /// Validates the data word holding `addr` against its check bits.
+    #[must_use]
+    pub fn data_verify(&self, addr: u32) -> Option<u8> {
+        if self.ecc == EccMode::None || !addr.is_multiple_of(4) || addr + 4 > self.config.data_bytes
+        {
+            return None;
+        }
+        let i = addr / 4;
+        match self
+            .ecc
+            .check(self.data_word_at(i), self.data_check[i as usize])
+        {
+            EccCheck::Clean => None,
+            EccCheck::Error { syndrome, .. } => Some(syndrome),
+        }
+    }
+
+    /// Flips one bit of the code word at `index`, re-decoding the
+    /// parallel pre-decoded view so both stay coherent. Check bits and
+    /// the golden copy are deliberately left alone — that is what makes
+    /// the flip detectable and repairable. Returns `false` out of range.
+    pub fn inject_code_bit(&mut self, index: u32, bit: u8) -> bool {
+        let Some(word) = self.code.get_mut(index as usize) else {
+            return false;
+        };
+        *word ^= 1 << (bit & 31);
+        self.decoded[index as usize] = decode_to(*word);
+        true
+    }
+
+    /// Flips one bit of the data word at `index` (primary copy only).
+    /// Returns `false` out of range.
+    pub fn inject_data_bit(&mut self, index: u32, bit: u8) -> bool {
+        let i = index as usize * 4;
+        if i + 4 > self.data.len() {
+            return false;
+        }
+        let word = self.data_word_at(index) ^ (1 << (bit & 31));
+        self.data[i..i + 4].copy_from_slice(&word.to_le_bytes());
+        true
+    }
+
+    /// Repairs the code word at `index` from the golden install image,
+    /// recomputing its check bits and pre-decoded view. Returns `false`
+    /// out of range.
+    pub fn scrub_code(&mut self, index: u32) -> bool {
+        let i = index as usize;
+        if i >= self.code.len() {
+            return false;
+        }
+        self.code[i] = self.golden_code[i];
+        self.decoded[i] = decode_to(self.code[i]);
+        self.code_check[i] = self.ecc.encode(self.code[i]);
+        true
+    }
+
+    /// Repairs the data word at `index` from the write-through mirror.
+    /// Returns `false` out of range.
+    pub fn scrub_data(&mut self, index: u32) -> bool {
+        let i = index as usize * 4;
+        if i + 4 > self.data.len() {
+            return false;
+        }
+        let (dst, src) = (&mut self.data[i..i + 4], &self.golden_data[i..i + 4]);
+        dst.copy_from_slice(src);
+        self.data_check[index as usize] = self.ecc.encode(self.data_word_at(index));
+        true
     }
 
     /// Bytes of code segment still free.
@@ -235,6 +397,11 @@ impl Mram {
             entries: self.entries.clone(),
             next_offset: self.next_offset,
             generation: self.generation,
+            ecc: self.ecc,
+            code_check: self.code_check.clone(),
+            data_check: self.data_check.clone(),
+            golden_code: self.golden_code.clone(),
+            golden_data: self.golden_data.clone(),
         }
     }
 
@@ -253,6 +420,11 @@ impl Mram {
         self.entries.clone_from(&snap.entries);
         self.next_offset = snap.next_offset;
         self.generation = snap.generation;
+        self.ecc = snap.ecc;
+        self.code_check.copy_from_slice(&snap.code_check);
+        self.data_check.copy_from_slice(&snap.data_check);
+        self.golden_code.copy_from_slice(&snap.golden_code);
+        self.golden_data.copy_from_slice(&snap.golden_data);
     }
 }
 
@@ -268,6 +440,11 @@ pub struct MramSnapshot {
     entries: Vec<Option<MroutineInfo>>,
     next_offset: u32,
     generation: u64,
+    ecc: EccMode,
+    code_check: Vec<u8>,
+    data_check: Vec<u8>,
+    golden_code: Vec<u32>,
+    golden_data: Vec<u8>,
 }
 
 #[cfg(test)]
@@ -348,6 +525,52 @@ mod tests {
         // The freed slot is reusable after restore.
         mram.install(1, "again", &[0xAA]).unwrap();
         assert_eq!(mram.entry_pc(1), Some(MRAM_BASE + 4));
+    }
+
+    #[test]
+    fn injected_code_flip_is_detected_and_scrubbed() {
+        let mut mram = Mram::new(MramConfig::default());
+        let pc = mram.install(0, "r", &[0x0000_0013, 0x0010_0073]).unwrap();
+        mram.set_ecc(EccMode::Secded);
+        assert_eq!(mram.code_verify(pc), None);
+        assert!(mram.inject_code_bit(0, 7));
+        // Primary word and decoded view flipped together; check bits
+        // stale, so verification reports a locatable syndrome.
+        assert_eq!(mram.code_word(pc), Ok(0x0000_0013 ^ 0x80));
+        let syndrome = mram.code_verify(pc).expect("flip detected");
+        assert_eq!(syndrome & 0x80, 0, "single-bit flip is locatable");
+        assert!(mram.scrub_code(0));
+        assert_eq!(mram.code_verify(pc), None);
+        assert_eq!(mram.code_word(pc), Ok(0x0000_0013));
+        assert_eq!(
+            mram.code_decoded(pc).unwrap().word,
+            0x0000_0013,
+            "decoded view repaired too"
+        );
+    }
+
+    #[test]
+    fn data_mirror_tracks_stores_so_scrub_is_fresh() {
+        let mut mram = Mram::new(MramConfig::default());
+        mram.set_ecc(EccMode::Parity);
+        mram.data_store(16, 0xAAAA_0001).unwrap();
+        assert!(mram.inject_data_bit(4, 0));
+        assert_eq!(mram.data_verify(16), Some(0x80), "parity cannot locate");
+        assert!(mram.scrub_data(4));
+        assert_eq!(mram.data_verify(16), None);
+        assert_eq!(
+            mram.data_load(16),
+            Ok(0xAAAA_0001),
+            "scrub restores the latest legitimate store, not stale install data"
+        );
+    }
+
+    #[test]
+    fn ecc_off_never_verifies() {
+        let mut mram = Mram::new(MramConfig::default());
+        let pc = mram.install(0, "r", &[0x13]).unwrap();
+        assert!(mram.inject_code_bit(0, 3));
+        assert_eq!(mram.code_verify(pc), None, "EccMode::None is silent");
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn serialize(case: &FuzzCase, reference: &EngineRun) -> String {
             out.push_str(&format!("expect halt ebreak {code}\n"));
         }
         Some(HaltReason::Fatal(_)) => out.push_str("expect halt fatal\n"),
-        None => out.push_str("expect halt none\n"),
+        // Budget-limited runs are hangs; artifacts never reach this
+        // arm (hangs are discarded), but keep the mapping total.
+        Some(HaltReason::Timeout) | None => out.push_str("expect halt none\n"),
     }
     out.push_str(&format!("expect instret {}\n", reference.instret));
     for (i, &v) in reference.regs.iter().enumerate() {
@@ -224,7 +226,7 @@ fn halt_string(halt: &Option<HaltReason>) -> String {
     match halt {
         Some(HaltReason::Ebreak { code }) => format!("ebreak {code}"),
         Some(HaltReason::Fatal(_)) => "fatal".to_owned(),
-        None => "none".to_owned(),
+        Some(HaltReason::Timeout) | None => "none".to_owned(),
     }
 }
 

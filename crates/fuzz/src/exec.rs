@@ -199,7 +199,9 @@ pub struct EngineRun {
 #[must_use]
 pub fn halt_kind(halt: &Option<HaltReason>) -> u32 {
     match halt {
-        None => 0,
+        // A budget-limited run looks like "still running" to coverage,
+        // exactly as the pre-watchdog `None` did.
+        None | Some(HaltReason::Timeout) => 0,
         Some(HaltReason::Ebreak { .. }) => 1,
         Some(HaltReason::Fatal(_)) => 2,
     }
@@ -315,7 +317,7 @@ impl CaseRunner {
             engine.state_mut().translation = TranslationMode::SoftTlb;
         }
         engine.load_segments([(0u32, program)], 0);
-        let halt = engine.run(limit);
+        let halt = Some(engine.run_fuel(limit));
         let state = engine.state();
         let hooks = engine.hooks();
         let mut mregs = [0u32; 32];
@@ -368,7 +370,9 @@ impl CaseRunner {
             &program,
             INTERP_LIMIT,
         );
-        let hang = core.halt.is_none() || nodc.halt.is_none() || interp.halt.is_none();
+        let hang = [&core, &nodc, &interp]
+            .iter()
+            .any(|r| matches!(r.halt, None | Some(HaltReason::Timeout)));
         let divergence = if hang {
             None
         } else {

@@ -302,8 +302,12 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                     // ignores, so decode -> encode is idempotent and the
                     // disassembly (which omits unused operands) re-parses
                     // to the same word.
-                    let has_rd = matches!(op, MarchOp::Mpld | MarchOp::Mtlbp | MarchOp::Mipend);
-                    let has_rs1 = !matches!(op, MarchOp::Mipend | MarchOp::Mtlbiall);
+                    let has_rd = matches!(
+                        op,
+                        MarchOp::Mpld | MarchOp::Mtlbp | MarchOp::Mipend | MarchOp::Mscrub
+                    );
+                    let has_rs1 =
+                        !matches!(op, MarchOp::Mipend | MarchOp::Mtlbiall | MarchOp::Mscrub);
                     let has_rs2 = matches!(
                         op,
                         MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept

@@ -84,7 +84,7 @@ pub fn disassemble(insn: &Insn) -> String {
         Insn::Mst { rs2, rs1, offset } => format!("mst {rs2}, {offset}({rs1})"),
         Insn::March { op, rd, rs1, rs2 } => match op {
             MarchOp::Mpld | MarchOp::Mtlbp => format!("{} {rd}, {rs1}", op.mnemonic()),
-            MarchOp::Mipend => format!("{} {rd}", op.mnemonic()),
+            MarchOp::Mipend | MarchOp::Mscrub => format!("{} {rd}", op.mnemonic()),
             MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept => {
                 format!("{} {rs1}, {rs2}", op.mnemonic())
             }

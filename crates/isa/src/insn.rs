@@ -556,7 +556,7 @@ impl Insn {
             | Insn::Rmr { rd, .. }
             | Insn::Mld { rd, .. } => rd,
             Insn::March {
-                op: MarchOp::Mpld | MarchOp::Mtlbp | MarchOp::Mipend,
+                op: MarchOp::Mpld | MarchOp::Mtlbp | MarchOp::Mipend | MarchOp::Mscrub,
                 rd,
                 ..
             } => rd,
@@ -597,7 +597,7 @@ impl Insn {
                 MarchOp::Mpst | MarchOp::Mtlbw | MarchOp::Mpkey | MarchOp::Mintercept => {
                     [nz(rs1), nz(rs2)]
                 }
-                MarchOp::Mipend | MarchOp::Mtlbiall => [None, None],
+                MarchOp::Mipend | MarchOp::Mtlbiall | MarchOp::Mscrub => [None, None],
             },
             _ => [None, None],
         }

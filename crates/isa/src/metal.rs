@@ -109,6 +109,12 @@ pub enum MarchOp {
     Mlayer = 0x0A,
     /// `mtlbiall`: flush the entire TLB (all ASIDs).
     Mtlbiall = 0x0B,
+    /// `mscrub rd`: attempt hardware-assisted repair of the fault
+    /// recorded at the last machine-check delivery (golden-copy
+    /// refresh for MRAM, syndrome correction for SECDED-protected
+    /// MRegs). `rd` receives 1 if the word was repaired, 0 if the
+    /// fault is unrepairable.
+    Mscrub = 0x0C,
 }
 
 impl MarchOp {
@@ -128,6 +134,7 @@ impl MarchOp {
             0x09 => Some(MarchOp::Miack),
             0x0A => Some(MarchOp::Mlayer),
             0x0B => Some(MarchOp::Mtlbiall),
+            0x0C => Some(MarchOp::Mscrub),
             _ => None,
         }
     }
@@ -148,12 +155,13 @@ impl MarchOp {
             MarchOp::Miack => "miack",
             MarchOp::Mlayer => "mlayer",
             MarchOp::Mtlbiall => "mtlbiall",
+            MarchOp::Mscrub => "mscrub",
         }
     }
 
     /// All defined sub-operations.
     #[must_use]
-    pub const fn all() -> [MarchOp; 12] {
+    pub const fn all() -> [MarchOp; 13] {
         [
             MarchOp::Mpld,
             MarchOp::Mpst,
@@ -167,6 +175,7 @@ impl MarchOp {
             MarchOp::Miack,
             MarchOp::Mlayer,
             MarchOp::Mtlbiall,
+            MarchOp::Mscrub,
         ]
     }
 }
@@ -202,6 +211,10 @@ pub enum Mcr {
     Minstret = 0x408,
     /// Scratch control register (free use by mroutines).
     Mscratch = 0x409,
+    /// Recovery abort: a machine-check recovery mroutine writes a
+    /// nonzero value here to declare the fault uncorrectable and halt
+    /// the machine (write-sensitive; reads as 0).
+    Mabort = 0x40A,
 }
 
 impl Mcr {
@@ -219,6 +232,7 @@ impl Mcr {
             0x407 => Some(Mcr::Mipending),
             0x408 => Some(Mcr::Minstret),
             0x409 => Some(Mcr::Mscratch),
+            0x40A => Some(Mcr::Mabort),
             _ => None,
         }
     }
@@ -243,6 +257,7 @@ impl Mcr {
             Mcr::Mipending => "mipending",
             Mcr::Minstret => "minstret",
             Mcr::Mscratch => "mscratch",
+            Mcr::Mabort => "mabort",
         }
     }
 
@@ -257,7 +272,7 @@ impl Mcr {
 
     /// All defined control registers.
     #[must_use]
-    pub const fn all() -> [Mcr; 10] {
+    pub const fn all() -> [Mcr; 11] {
         [
             Mcr::Mcause,
             Mcr::Mbadaddr,
@@ -269,6 +284,7 @@ impl Mcr {
             Mcr::Mipending,
             Mcr::Minstret,
             Mcr::Mscratch,
+            Mcr::Mabort,
         ]
     }
 

@@ -96,6 +96,22 @@ impl Cache {
         }
     }
 
+    /// Fault injection: flips one bit of a line's tag. Returns false
+    /// (masked by construction) when the line is invalid or out of
+    /// range. Tags only influence hit/miss latency, never data, so an
+    /// injected flip is architecturally invisible — it models the
+    /// timing-only blast radius of metadata corruption in this cache
+    /// model.
+    pub fn inject_tag_bit(&mut self, line: usize, bit: u8) -> bool {
+        match self.tags.get_mut(line) {
+            Some(Some(tag)) => {
+                *tag ^= 1 << (bit & 31);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// True if `addr` would hit, without updating state or statistics.
     #[must_use]
     pub fn peek(&self, addr: u32) -> bool {

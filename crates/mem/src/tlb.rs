@@ -185,6 +185,25 @@ impl Tlb {
         self.config.entries
     }
 
+    /// Fault injection: flips one bit of the entry in `slot` — bits
+    /// 0–31 hit the PTE, bits 32–63 the VPN. Returns false (a masked
+    /// fault by construction) when the slot is empty or out of range.
+    /// TLB entries carry no check bits, so injected flips are never
+    /// detected — they surface as wrong translations or spurious
+    /// faults, or stay invisible.
+    pub fn inject_entry_bit(&mut self, slot: usize, bit: u8) -> bool {
+        let Some(Some(entry)) = self.entries.get_mut(slot) else {
+            return false;
+        };
+        let word = 1u32 << (bit & 31);
+        if bit & 63 < 32 {
+            entry.pte.0 ^= word;
+        } else {
+            entry.vpn ^= word;
+        }
+        true
+    }
+
     /// Translates `va` under `asid` for the given access kind.
     ///
     /// On success returns the physical address and marks the entry

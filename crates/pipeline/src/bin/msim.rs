@@ -21,7 +21,7 @@
 use metal_mem::devices::{map, Console, Timer};
 use metal_pipeline::{Core, CoreConfig, Engine, HaltReason, Interp, NoHooks, TracingHooks};
 use metal_trace::{TraceConfig, TraceHandle};
-use metal_util::cli::{parse_num, usage};
+use metal_util::cli::{fail, parse_num, usage};
 use std::process::ExitCode;
 
 const USAGE: &str = "msim image.bin [--engine pipeline|interp] [--base 0xADDR] [--entry 0xADDR] [--max-cycles N] [--perf] [--trace out.json] [--metrics out.json]";
@@ -85,11 +85,20 @@ fn main() -> ExitCode {
     };
     let image = match std::fs::read(&input) {
         Ok(image) => image,
-        Err(e) => {
-            eprintln!("msim: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail("msim", &format!("cannot read {input}: {e}")),
     };
+    // `load_segments` treats an out-of-RAM segment as a programming
+    // error and panics; turn a bad --base into a proper CLI error.
+    let ram = CoreConfig::default().ram_bytes;
+    if (base as usize).saturating_add(image.len()) > ram {
+        return fail(
+            "msim",
+            &format!(
+                "image of {} bytes at --base {base:#x} does not fit in {ram}-byte RAM",
+                image.len()
+            ),
+        );
+    }
     let opts = Opts {
         image,
         base,
@@ -199,7 +208,7 @@ fn run_sim<E: Engine<Hooks = TracingHooks<NoHooks>>>(opts: &Opts) -> ExitCode {
             eprintln!("msim: fatal: {msg}");
             ExitCode::FAILURE
         }
-        None => {
+        Some(HaltReason::Timeout) | None => {
             eprintln!("msim: cycle limit ({}) reached", opts.max_cycles);
             ExitCode::FAILURE
         }

@@ -83,6 +83,35 @@ pub trait Engine: Sized {
     /// reason if the machine stopped.
     fn run(&mut self, limit: u64) -> Option<HaltReason>;
 
+    /// Runs under a watchdog: like [`Engine::run`], but when the fuel
+    /// budget expires with the guest still running the machine is
+    /// halted with [`HaltReason::Timeout`] instead of being left
+    /// resumable. Campaign harnesses (`mfuzz --replay`, `mfault`) use
+    /// this so no single case can wedge a run on livelocked guest code.
+    fn run_fuel(&mut self, fuel: u64) -> HaltReason {
+        match self.run(fuel) {
+            Some(halt) => halt,
+            None => {
+                self.state_mut().halted = Some(HaltReason::Timeout);
+                HaltReason::Timeout
+            }
+        }
+    }
+
+    /// Runs until `n` more instructions retire or the machine halts.
+    /// Both engines agree on the meaning (retired-instruction count),
+    /// so a harness can position either engine at the same
+    /// architectural boundary — e.g. to inject a fault mid-run.
+    fn step_insns(&mut self, n: u64);
+
+    /// True when the engine holds no in-flight microarchitectural
+    /// state and a [`Engine::snapshot`] would be faithful. Always true
+    /// for the interpreter; the pipelined core requires all
+    /// inter-stage latches empty.
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
     /// The unified metrics view of the machine state.
     fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.state().metrics_snapshot()
@@ -162,6 +191,40 @@ impl<H: Hooks> Engine for Core<H> {
     fn run(&mut self, limit: u64) -> Option<HaltReason> {
         Core::run(self, limit)
     }
+
+    fn step_insns(&mut self, n: u64) {
+        Core::step_insns(self, n);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        Core::is_quiescent(self)
+    }
+
+    /// Pipelined-core snapshots are only faithful at retired-instruction
+    /// boundaries: restore redirects fetch via `set_pc`, which discards
+    /// in-flight latches, so a mid-instruction snapshot would silently
+    /// lose work on restore. Enforce the precondition instead of
+    /// documenting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any inter-stage latch is occupied or a stage is mid-way
+    /// through a multi-cycle access.
+    fn snapshot(&self) -> EngineSnapshot<H>
+    where
+        H: Clone,
+    {
+        assert!(
+            Core::is_quiescent(self),
+            "pipeline snapshot requires a quiescent core (no in-flight instructions); \
+             snapshot at reset, halt, or a step_insns boundary after the pipeline drains"
+        );
+        EngineSnapshot {
+            machine: self.state.snapshot(),
+            hooks: self.hooks.clone(),
+            pc: self.fetch_pc(),
+        }
+    }
 }
 
 impl<H: Hooks> Engine for Interp<H> {
@@ -209,6 +272,10 @@ impl<H: Hooks> Engine for Interp<H> {
 
     fn run(&mut self, limit: u64) -> Option<HaltReason> {
         Interp::run(self, limit)
+    }
+
+    fn step_insns(&mut self, n: u64) {
+        Interp::step_insns(self, n);
     }
 }
 

@@ -325,6 +325,16 @@ impl<H: Hooks> Interp<H> {
         }
         self.state.halted.clone()
     }
+
+    /// Runs until `instret` increases by `n` or the machine halts.
+    /// Mirrors [`crate::Core::step_insns`] so injection harnesses can
+    /// position both engines at the same retired-instruction boundary.
+    pub fn step_insns(&mut self, n: u64) {
+        let target = self.state.perf.instret + n;
+        while self.state.halted.is_none() && self.state.perf.instret < target {
+            self.step();
+        }
+    }
 }
 
 #[cfg(test)]

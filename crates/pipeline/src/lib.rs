@@ -37,4 +37,4 @@ pub use state::{
     RegFile, TranslationMode,
 };
 pub use tracing::TracingHooks;
-pub use trap::{Trap, TrapCause};
+pub use trap::{Trap, TrapCause, MACHINE_CHECK_BASE};

@@ -803,6 +803,88 @@ impl<H: Hooks> Core<H> {
             self.tick();
         }
     }
+
+    /// True when no live instruction is in flight: every inter-stage
+    /// latch is empty and no stage is mid-way through a multi-cycle
+    /// access. A halted core always qualifies — anything still latched
+    /// behind the halting instruction is abandoned, never resumed, and
+    /// invisible to a snapshot/restore cycle. Snapshots of the
+    /// pipelined core are only faithful at such points (see
+    /// [`crate::engine::EngineSnapshot`]).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.state.halted.is_some()
+            || self.if_id.is_none()
+                && self.if_pending.is_none()
+                && self.if_busy == 0
+                && self.id_ex.is_none()
+                && self.id_hold.is_none()
+                && self.id_stall == 0
+                && self.ex_mem.is_none()
+                && self.ex_hold.is_none()
+                && self.ex_busy == 0
+                && self.mem_wb.is_none()
+                && self.mem_hold.is_none()
+                && self.mem_busy == 0
+    }
+
+    /// Flips one bit in an occupied inter-stage latch (fault-injection
+    /// harness). `stage`: 0 = IF/ID, 1 = ID/EX, 2 = EX/MEM, 3 = MEM/WB.
+    /// Bits 0–31 hit the in-flight instruction word (IF/ID, ID/EX, which
+    /// re-decode) or the latched data value (EX/MEM `alu`, MEM/WB
+    /// `value`); bits 32–63 hit the latched PC. Returns `false` when the
+    /// latch is empty — an injection into a bubble is architecturally
+    /// masked by construction.
+    pub fn inject_latch_bit(&mut self, stage: u8, bit: u8) -> bool {
+        let bit = bit & 63;
+        let word_bit = 1u32 << (bit & 31);
+        match stage & 3 {
+            0 => match &mut self.if_id {
+                Some(l) => {
+                    if bit < 32 {
+                        l.decoded = decode_to(l.decoded.word ^ word_bit);
+                    } else {
+                        l.pc ^= word_bit;
+                    }
+                    true
+                }
+                None => false,
+            },
+            1 => match &mut self.id_ex {
+                Some(l) => {
+                    if bit < 32 {
+                        l.decoded = decode_to(l.decoded.word ^ word_bit);
+                    } else {
+                        l.pc ^= word_bit;
+                    }
+                    true
+                }
+                None => false,
+            },
+            2 => match &mut self.ex_mem {
+                Some(l) => {
+                    if bit < 32 {
+                        l.alu ^= word_bit;
+                    } else {
+                        l.pc ^= word_bit;
+                    }
+                    true
+                }
+                None => false,
+            },
+            _ => match &mut self.mem_wb {
+                Some(l) => {
+                    if bit < 32 {
+                        l.value ^= word_bit;
+                    } else {
+                        l.pc ^= word_bit;
+                    }
+                    true
+                }
+                None => false,
+            },
+        }
+    }
 }
 
 impl<H: Hooks> Core<H> {

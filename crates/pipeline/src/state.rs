@@ -137,6 +137,11 @@ pub enum HaltReason {
     },
     /// An unrecoverable situation (e.g. a fault inside an mroutine).
     Fatal(String),
+    /// A watchdog fuel budget expired ([`crate::Engine::run_fuel`]):
+    /// the guest was still running when its instruction/cycle budget
+    /// ran out. Distinct from `None` (out of `run` limit but not under
+    /// a watchdog) so campaign harnesses can classify hangs.
+    Timeout,
 }
 
 /// Micro-architectural event counters.

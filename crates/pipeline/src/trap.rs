@@ -1,6 +1,7 @@
 //! Trap causes and trap values.
 
 use core::fmt;
+use metal_trace::FaultSite;
 
 /// Why a trap was raised. Cause codes follow RISC-V numbering where one
 /// exists; page-key violations use custom codes 24/25.
@@ -34,9 +35,25 @@ pub enum TrapCause {
     LoadKeyViolation,
     /// Store blocked by a page-key permission mask.
     StoreKeyViolation,
+    /// Parity/ECC detection hardware found a corrupted word. The site
+    /// and syndrome are packed into the cause code so a recovery
+    /// mroutine can recover them from `mcause` alone.
+    MachineCheck {
+        /// The structure where the error was detected.
+        site: FaultSite,
+        /// ECC syndrome (0 for parity; bit 7 set marks uncorrectable).
+        syndrome: u8,
+    },
     /// External interrupt on the given line.
     Interrupt(u8),
 }
+
+/// Base cause code shared by every machine check: `code & 31 == 16`
+/// regardless of site/syndrome, so one [`DelegationMap`] slot covers
+/// them all.
+///
+/// [`DelegationMap`]: https://docs.rs/metal-core
+pub const MACHINE_CHECK_BASE: u32 = 16;
 
 impl TrapCause {
     /// The numeric cause code (interrupts have bit 31 set).
@@ -57,6 +74,9 @@ impl TrapCause {
             TrapCause::StorePageFault => 15,
             TrapCause::LoadKeyViolation => 24,
             TrapCause::StoreKeyViolation => 25,
+            TrapCause::MachineCheck { site, syndrome } => {
+                MACHINE_CHECK_BASE | (site.code() << 5) | (u32::from(syndrome) << 8)
+            }
             TrapCause::Interrupt(line) => 0x8000_0000 | u32::from(line),
         }
     }
@@ -71,6 +91,14 @@ impl TrapCause {
             } else {
                 None
             };
+        }
+        if code & 31 == MACHINE_CHECK_BASE {
+            if code >> 16 != 0 {
+                return None;
+            }
+            let site = FaultSite::from_code((code >> 5) & 7)?;
+            let syndrome = (code >> 8) as u8;
+            return Some(TrapCause::MachineCheck { site, syndrome });
         }
         Some(match code {
             0 => TrapCause::InsnMisaligned,
@@ -102,6 +130,13 @@ impl fmt::Display for TrapCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrapCause::Interrupt(line) => write!(f, "interrupt(line {line})"),
+            TrapCause::MachineCheck { site, syndrome } => {
+                write!(
+                    f,
+                    "machine-check({}, syndrome {syndrome:#04x})",
+                    site.label()
+                )
+            }
             other => write!(f, "{other:?}"),
         }
     }
@@ -166,6 +201,26 @@ mod tests {
         }
         assert_eq!(TrapCause::from_code(9), None);
         assert_eq!(TrapCause::from_code(0x8000_0020), None);
+    }
+
+    #[test]
+    fn machine_check_roundtrip() {
+        for site in FaultSite::ALL {
+            for syndrome in [0u8, 1, 0x3F, 0x80, 0xFF] {
+                let c = TrapCause::MachineCheck { site, syndrome };
+                // Every machine check lands in the same 5-bit delegation
+                // slot, and the packed code stays inside 16 bits so the
+                // EntryCause encoding (`code << 8`) cannot truncate it.
+                assert_eq!(c.code() & 31, MACHINE_CHECK_BASE);
+                assert!(c.code() >> 16 == 0);
+                assert!(!c.is_interrupt());
+                assert_eq!(TrapCause::from_code(c.code()), Some(c), "{c}");
+            }
+        }
+        // Reserved site code 7 does not decode.
+        assert_eq!(TrapCause::from_code(MACHINE_CHECK_BASE | (7 << 5)), None);
+        // Bits above the 16-bit pack do not decode.
+        assert_eq!(TrapCause::from_code(MACHINE_CHECK_BASE | (1 << 16)), None);
     }
 
     #[test]

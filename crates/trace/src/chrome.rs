@@ -232,6 +232,39 @@ pub fn export(events: &[Event], dropped: u64) -> String {
                     &[("addr", Arg::Hex(addr)), ("write", Arg::Bool(write))],
                 );
             }
+            EventKind::FaultInjected { site, addr, bit } => {
+                write_instant(
+                    &mut out,
+                    &mut wrote_any,
+                    event,
+                    TID_PIPELINE,
+                    &[
+                        ("site", Arg::Str(site.label())),
+                        ("addr", Arg::Hex(addr)),
+                        ("bit", Arg::Num(u64::from(bit))),
+                    ],
+                );
+            }
+            EventKind::MachineCheck {
+                site,
+                syndrome,
+                addr,
+            } => {
+                write_instant(
+                    &mut out,
+                    &mut wrote_any,
+                    event,
+                    TID_PIPELINE,
+                    &[
+                        ("site", Arg::Str(site.label())),
+                        ("syndrome", Arg::Num(u64::from(syndrome))),
+                        ("addr", Arg::Hex(addr)),
+                    ],
+                );
+            }
+            EventKind::Recovery { .. } => {
+                write_instant(&mut out, &mut wrote_any, event, TID_PIPELINE, &[]);
+            }
             EventKind::Marker { value, .. } => {
                 write_instant(
                     &mut out,

@@ -42,6 +42,97 @@ pub enum TlbOutcome {
     KeyViolation,
 }
 
+/// A hardware structure in which a fault can be injected or detected.
+///
+/// Lives here (rather than in the ISA or core crates) for the same
+/// reason every other event payload does: the memory system, the
+/// pipeline, and the Metal extension all need to name fault sites
+/// without a dependency cycle. The 3-bit `code` is packed into the
+/// machine-check `mcause` encoding, so it is architecturally visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// An MRAM code word.
+    MramCode,
+    /// An MRAM data word.
+    MramData,
+    /// A Metal register (`m0`–`m31`).
+    Mreg,
+    /// A guest general-purpose register.
+    GuestReg,
+    /// A TLB entry.
+    Tlb,
+    /// A cache tag.
+    Cache,
+    /// An inter-stage pipeline latch (pipelined core only).
+    Latch,
+}
+
+impl FaultSite {
+    /// All sites, in `code` order.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::MramCode,
+        FaultSite::MramData,
+        FaultSite::Mreg,
+        FaultSite::GuestReg,
+        FaultSite::Tlb,
+        FaultSite::Cache,
+        FaultSite::Latch,
+    ];
+
+    /// The 3-bit site code packed into the machine-check cause.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            FaultSite::MramCode => 0,
+            FaultSite::MramData => 1,
+            FaultSite::Mreg => 2,
+            FaultSite::GuestReg => 3,
+            FaultSite::Tlb => 4,
+            FaultSite::Cache => 5,
+            FaultSite::Latch => 6,
+        }
+    }
+
+    /// Decodes a 3-bit site code (7 is reserved).
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<FaultSite> {
+        FaultSite::ALL.get(code as usize).copied()
+    }
+
+    /// Stable label used in CLI flags, JSON reports, and event names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::MramCode => "mram-code",
+            FaultSite::MramData => "mram-data",
+            FaultSite::Mreg => "mreg",
+            FaultSite::GuestReg => "guest-reg",
+            FaultSite::Tlb => "tlb",
+            FaultSite::Cache => "cache",
+            FaultSite::Latch => "latch",
+        }
+    }
+
+    /// Parses a CLI label back into a site.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.label() == s)
+    }
+}
+
+/// What a machine-check recovery mroutine (or the campaign harness on
+/// its behalf) did about a detected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The fault was scrubbed in place and the faulting instruction
+    /// retried (`mscrub` succeeded).
+    Retry,
+    /// State was rewound to a checkpoint snapshot.
+    Rollback,
+    /// Recovery gave up (`wmr mabort`): the fault is uncorrectable.
+    Abort,
+}
+
 /// Why the machine entered Metal mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransitionCause {
@@ -185,6 +276,30 @@ pub enum EventKind {
         /// The instruction word.
         word: u32,
     },
+    /// A fault was injected into a hardware structure (campaign
+    /// harness only — real workloads never emit this).
+    FaultInjected {
+        /// The structure hit.
+        site: FaultSite,
+        /// Site-relative address (word address, register index, slot).
+        addr: u32,
+        /// Bit position flipped or pinned.
+        bit: u8,
+    },
+    /// Detection hardware (parity/ECC) raised a machine check.
+    MachineCheck {
+        /// The structure where the error was detected.
+        site: FaultSite,
+        /// ECC syndrome (0 for parity).
+        syndrome: u8,
+        /// Site-relative address of the corrupted word.
+        addr: u32,
+    },
+    /// A recovery decision was made for a delivered machine check.
+    Recovery {
+        /// What the recovery path did.
+        action: RecoveryAction,
+    },
     /// A free-form marker for experiments.
     Marker {
         /// Static label.
@@ -224,6 +339,13 @@ impl EventKind {
             EventKind::MmioAccess { .. } => "mmio",
             EventKind::DecodeReplace { .. } => "decode.replace",
             EventKind::CustomExec { .. } => "exec.custom",
+            EventKind::FaultInjected { .. } => "fault.injected",
+            EventKind::MachineCheck { .. } => "mcheck.delivered",
+            EventKind::Recovery { action } => match action {
+                RecoveryAction::Retry => "recovery.retry",
+                RecoveryAction::Rollback => "recovery.rollback",
+                RecoveryAction::Abort => "recovery.abort",
+            },
             EventKind::Marker { name, .. } => name,
         }
     }

@@ -23,7 +23,9 @@ pub mod event;
 pub mod metrics;
 pub mod ring;
 
-pub use event::{CacheKind, Event, EventKind, StallKind, TlbOutcome, TransitionCause};
+pub use event::{
+    CacheKind, Event, EventKind, FaultSite, RecoveryAction, StallKind, TlbOutcome, TransitionCause,
+};
 pub use metrics::{Histogram, Metric, MetricsSnapshot, TransitionSlot, TransitionTable};
 pub use ring::Ring;
 

@@ -21,6 +21,15 @@ pub fn parse_u32(s: &str) -> Option<u32> {
     parse_num(s).and_then(|v| u32::try_from(v).ok())
 }
 
+/// Prints a `tool: message` error line and returns the failure exit
+/// code — the standard way for the CLI tools to reject bad input
+/// without panicking.
+#[must_use]
+pub fn fail(tool: &str, message: &str) -> ExitCode {
+    eprintln!("{tool}: {message}");
+    ExitCode::FAILURE
+}
+
 /// Prints the standard usage/exit combination: an optional error line
 /// (`tool: error`), the usage line, and the conventional exit code —
 /// success for `-h`-style calls (empty error), failure otherwise.

@@ -1,0 +1,18 @@
+# Machine-check recovery mroutine (delegate the machine-check cause to
+# it). `march.mscrub` repairs the word the hardware flagged — from the
+# golden MRAM copy, or by ECC syndrome correction for Metal registers —
+# and returns nonzero on success. `mexit` then re-executes the faulting
+# instruction (m31 was set to the faulting pc at delivery), which now
+# re-reads the scrubbed word. If the scrub fails (parity-only
+# detection, double-bit error), writing a nonzero value to the `mabort`
+# MCR declares the fault uncorrectable so the host can roll back to a
+# checkpoint instead of silently continuing on corrupted state.
+#
+#   mlint examples/mcode/mcheck_recover.s
+mscrub t0
+bnez t0, done
+li t0, 1
+wmr mabort, t0
+done:
+li t0, 0
+mexit

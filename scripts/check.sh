@@ -39,4 +39,18 @@ if [[ "${CHECK_FUZZ:-0}" == "1" ]]; then
     done
 fi
 
+if [[ "${CHECK_FAULT:-0}" == "1" ]]; then
+    echo "==> fault-injection smoke (CHECK_FAULT=1)"
+    # Fixed-seed SECDED campaign on the live-site workload: every
+    # injected single-bit MRAM/MReg fault must be detected and
+    # corrected, with zero silent data corruption, on both engines.
+    for engine in pipeline interp; do
+        target/release/mfault --seed 7 --cases 100 --jobs 2 --engine "$engine" \
+            --workload loop --ecc secded --sites mram-code,mram-data,mreg \
+            --kind transient --max-sdc 0 --min-corrected-pct 95
+    done
+    # The harness itself must not perturb state.
+    target/release/mfault --seed 7 --cases 25 --zero-fault --workload fuzz
+fi
+
 echo "==> all checks passed"

@@ -158,3 +158,64 @@ fn restore_discards_later_writes() {
     // And the machine runs again to the same result.
     assert_eq!(core.run(CORE_LIMIT), Some(HaltReason::Ebreak { code: 42 }));
 }
+
+#[test]
+fn core_snapshot_requires_quiescence() {
+    // The pipelined core snapshots only at retired-instruction
+    // boundaries: with instructions in flight, the inter-stage latches
+    // hold state EngineSnapshot does not capture, so the engine must
+    // refuse rather than silently drop work.
+    let program = assemble_flat("li a0, 1\nadd a0, a0, a0\nadd a0, a0, a0\nadd a0, a0, a0\nebreak");
+    let mut core = MetalBuilder::new()
+        .routine(0, "nopr", "mexit")
+        .build_engine::<Core<Metal>>(CoreConfig::default())
+        .expect("machine builds");
+    core.load_segments([(0u32, program.as_slice())], 0);
+    assert!(core.is_quiescent(), "reset state is a legal boundary");
+    let _ = core.snapshot();
+    // A few raw cycles leave younger instructions mid-pipeline.
+    assert!(core.run(3).is_none(), "program must still be running");
+    assert!(!core.is_quiescent(), "instructions should be in flight");
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = core.snapshot();
+    }))
+    .is_err();
+    assert!(panicked, "mid-flight snapshot must panic");
+}
+
+#[test]
+fn core_split_stepping_matches_uninterrupted_run() {
+    // The campaign harness rewinds to a pristine snapshot, steps to an
+    // injection point with step_insns, and keeps running. step_insns
+    // stops at a retirement boundary but deliberately leaves younger
+    // instructions in flight (no drain), so the split run must be
+    // tick-for-tick identical to an uninterrupted one — and such a
+    // boundary is NOT a legal snapshot point.
+    let program =
+        assemble_flat("li a0, 5\nloop:\naddi a0, a0, -1\nbnez a0, loop\nli a0, 33\nebreak");
+    let mut core = MetalBuilder::new()
+        .routine(0, "nopr", "mexit")
+        .build_engine::<Core<Metal>>(CoreConfig::default())
+        .expect("machine builds");
+    core.load_segments([(0u32, program.as_slice())], 0);
+    let snap = core.snapshot();
+    let halt = core.run_fuel(CORE_LIMIT);
+    assert_eq!(halt, HaltReason::Ebreak { code: 33 });
+    let (cycles, instret) = (core.state().perf.cycles, core.state().perf.instret);
+
+    core.restore(&snap);
+    core.step_insns(3);
+    assert!(
+        !core.is_quiescent(),
+        "mid-run step_insns boundary should have younger insns in flight"
+    );
+    assert_eq!(core.run_fuel(CORE_LIMIT), halt);
+    assert_eq!(
+        (core.state().perf.cycles, core.state().perf.instret),
+        (cycles, instret),
+        "split-stepped run diverged from the uninterrupted run"
+    );
+    // Halt is a quiescent point: the snapshot there is legal.
+    assert!(core.is_quiescent());
+    let _ = core.snapshot();
+}
